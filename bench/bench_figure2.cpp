@@ -1,0 +1,84 @@
+/// \file bench_figure2.cpp
+/// Reproduces **Figure 2** of the paper: average degradation-from-best as a
+/// function of wmin (1..10) for the six heuristics the paper plots —
+/// mct, mct*, emct, emct*, ud*, lw*.  The expected shape: the EMCT curves
+/// drop below the MCT curves around wmin ~ 3, and UD* becomes competitive
+/// at large wmin, where availability-state transitions dominate task
+/// durations.
+
+#include <cstdio>
+#include <fstream>
+
+#include "exp/shape.hpp"
+#include "exp/sweep.hpp"
+#include "report.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace volsched;
+    util::Cli cli("bench_figure2", "Figure 2: average dfb versus wmin");
+    cli.add_int("scenarios", 2, "scenarios per (n, ncom, wmin) cell");
+    cli.add_int("trials", 2, "trials per scenario");
+    cli.add_int("threads", 0, "worker threads (0: hardware)");
+    cli.add_int("seed", 20110516, "master seed");
+    cli.add_flag("full", "paper-scale sweep (247 scenarios x 10 trials)");
+    cli.add_string("csv", "", "optional CSV output path (long format)");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    exp::SweepConfig cfg;
+    cfg.scenarios_per_cell =
+        cli.get_flag("full") ? 247 : static_cast<int>(cli.get_int("scenarios"));
+    cfg.trials_per_scenario =
+        cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
+    cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    const std::vector<std::string> heuristics = {"mct", "mct*", "emct",
+                                                 "emct*", "ud*", "lw*"};
+    std::printf("bench_figure2: dfb vs wmin for %zu heuristics\n\n",
+                heuristics.size());
+
+    const auto result = exp::run_sweep(cfg, heuristics);
+
+    std::vector<std::string> header = {"wmin"};
+    for (const auto& h : heuristics) header.push_back(h);
+    util::TextTable table(header);
+    for (std::size_t c = 1; c < header.size(); ++c) table.align_right(c);
+    for (const auto& [wmin, dfb] : result.by_wmin) {
+        std::vector<std::string> row = {std::to_string(wmin)};
+        for (std::size_t h = 0; h < heuristics.size(); ++h)
+            row.push_back(util::TextTable::num(dfb.mean_dfb(h), 2));
+        table.add_row(std::move(row));
+    }
+    std::printf("%s",
+                table.render("Figure 2 — averaged dfb results vs. wmin")
+                    .c_str());
+    std::printf("(%lld problem instances total)\n\n",
+                static_cast<long long>(result.overall.instances()));
+
+    // Qualitative crossover report: largest wmin where MCT still beats
+    // EMCT, mirroring the paper's "EMCT overtakes MCT beyond wmin ~ 3".
+    int crossover = 0;
+    for (const auto& [wmin, dfb] : result.by_wmin)
+        if (dfb.mean_dfb(0) < dfb.mean_dfb(2)) crossover = wmin;
+    std::printf("last wmin where mct <= emct: %d (paper: ~3)\n\n", crossover);
+
+    const auto checks = exp::check_figure2_shape(result);
+    std::printf("shape verdicts vs the paper's Figure 2 claims:\n%s",
+                exp::render_checks(checks).c_str());
+
+    if (const auto& path = cli.get_string("csv"); !path.empty()) {
+        std::ofstream out(path);
+        util::CsvWriter csv(out, {"wmin", "heuristic", "mean_dfb", "ci95"});
+        for (const auto& [wmin, dfb] : result.by_wmin)
+            for (std::size_t h = 0; h < heuristics.size(); ++h)
+                csv.row({std::to_string(wmin), heuristics[h],
+                         util::CsvWriter::cell(dfb.mean_dfb(h)),
+                         util::CsvWriter::cell(
+                             util::ci95_halfwidth(dfb.dfb(h)))});
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}

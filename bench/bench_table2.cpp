@@ -1,0 +1,71 @@
+/// \file bench_table2.cpp
+/// Reproduces **Table 2** of the paper: average degradation-from-best and
+/// number of wins for all seventeen heuristics over the full Table 1 grid
+/// (p = 20; n in {5,10,20,40}; ncom in {5,10,20}; wmin in 1..10;
+/// Tdata = wmin; Tprog = 5*wmin; 10 iterations per run).
+///
+/// The paper uses 247 scenarios x 10 trials per cell (296,400 instances).
+/// The default here is a reduced sweep sized for a laptop; pass
+/// `--scenarios 247 --trials 10` (or `--full`) for paper scale.
+
+#include <cstdio>
+
+#include "core/factory.hpp"
+#include "exp/shape.hpp"
+#include "exp/sweep.hpp"
+#include "report.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace volsched;
+    util::Cli cli("bench_table2",
+                  "Table 2: average dfb and #wins over the full grid");
+    cli.add_int("scenarios", 2, "scenarios per (n, ncom, wmin) cell");
+    cli.add_int("trials", 2, "trials per scenario");
+    cli.add_int("threads", 0, "worker threads (0: hardware)");
+    cli.add_int("seed", 20110516, "master seed");
+    cli.add_flag("full", "paper-scale sweep (247 scenarios x 10 trials)");
+    cli.add_flag("breakdown", "also print per-n and per-ncom tables");
+    cli.add_string("csv", "", "optional CSV output path");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    exp::SweepConfig cfg;
+    cfg.scenarios_per_cell =
+        cli.get_flag("full") ? 247 : static_cast<int>(cli.get_int("scenarios"));
+    cfg.trials_per_scenario =
+        cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
+    cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    const auto& heuristics = core::all_heuristic_names();
+    std::printf("bench_table2: %d n-values x %d ncom x %d wmin x %d scenarios"
+                " x %d trials, %zu heuristics\n\n",
+                static_cast<int>(cfg.tasks_values.size()),
+                static_cast<int>(cfg.ncom_values.size()),
+                static_cast<int>(cfg.wmin_values.size()),
+                cfg.scenarios_per_cell, cfg.trials_per_scenario,
+                heuristics.size());
+
+    const auto result = exp::run_sweep(cfg, heuristics);
+    benchtool::print_dfb_table(
+        "Table 2 — results over all problem instances", heuristics,
+        result.overall, /*show_wins=*/true);
+
+    const auto checks = exp::check_table2_shape(result);
+    std::printf("shape verdicts vs the paper's Table 2 claims:\n%s\n",
+                exp::render_checks(checks).c_str());
+
+    if (cli.get_flag("breakdown")) {
+        for (const auto& [n, table] : result.by_tasks)
+            benchtool::print_dfb_table("breakdown — n = " + std::to_string(n),
+                                       heuristics, table, /*show_wins=*/false);
+        for (const auto& [ncom, table] : result.by_ncom)
+            benchtool::print_dfb_table(
+                "breakdown — ncom = " + std::to_string(ncom), heuristics,
+                table, /*show_wins=*/false);
+    }
+
+    if (const auto& path = cli.get_string("csv"); !path.empty())
+        benchtool::write_dfb_csv(path, heuristics, result.overall);
+    return 0;
+}

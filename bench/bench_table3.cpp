@@ -1,0 +1,67 @@
+/// \file bench_table3.cpp
+/// Reproduces **Table 3** of the paper: contention-prone scenarios with
+/// communication times scaled 5x and 10x (n = 20, ncom = 5, wmin = 1,
+/// Tdata = 5 or 10, Tprog = 25 or 50).  The paper's expectation: the
+/// contention-correcting (starred) heuristics dominate their plain
+/// counterparts, UD* winning the 10x setting while plain MCT collapses.
+
+#include <cstdio>
+
+#include <optional>
+
+#include "core/factory.hpp"
+#include "exp/shape.hpp"
+#include "exp/sweep.hpp"
+#include "report.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace volsched;
+    util::Cli cli("bench_table3",
+                  "Table 3: contention-prone scenarios (comm x5 and x10)");
+    cli.add_int("scenarios", 30, "scenarios per setting (paper: 100)");
+    cli.add_int("trials", 3, "trials per scenario (paper: 10)");
+    cli.add_int("threads", 0, "worker threads (0: hardware)");
+    cli.add_int("seed", 20110516, "master seed");
+    cli.add_flag("full", "paper-scale (100 scenarios x 10 trials)");
+    cli.add_string("csv", "", "optional CSV output path prefix");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    const auto& heuristics = core::greedy_heuristic_names();
+    std::optional<exp::SweepResult> x5, x10;
+
+    for (const double factor : {5.0, 10.0}) {
+        exp::SweepConfig cfg;
+        cfg.tasks_values = {20};
+        cfg.ncom_values = {5};
+        cfg.wmin_values = {1};
+        cfg.tdata_factor = factor;
+        cfg.tprog_factor = 5.0 * factor;
+        cfg.scenarios_per_cell = cli.get_flag("full")
+                                     ? 100
+                                     : static_cast<int>(cli.get_int("scenarios"));
+        cfg.trials_per_scenario =
+            cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
+        cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+        cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed")) +
+                          static_cast<std::uint64_t>(factor);
+
+        auto result = exp::run_sweep(cfg, heuristics);
+        char title[128];
+        std::snprintf(title, sizeof title,
+                      "Table 3 — communication times x%g", factor);
+        benchtool::print_dfb_table(title, heuristics, result.overall,
+                                   /*show_wins=*/false);
+        if (const auto& prefix = cli.get_string("csv"); !prefix.empty())
+            benchtool::write_dfb_csv(
+                prefix + "_x" + std::to_string(static_cast<int>(factor)) +
+                    ".csv",
+                heuristics, result.overall);
+        (factor == 5.0 ? x5 : x10).emplace(std::move(result));
+    }
+
+    const auto checks = exp::check_table3_shape(*x5, *x10);
+    std::printf("shape verdicts vs the paper's Table 3 claims:\n%s",
+                exp::render_checks(checks).c_str());
+    return 0;
+}

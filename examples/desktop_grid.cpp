@@ -1,0 +1,128 @@
+/// \file desktop_grid.cpp
+/// A fuller scenario modeled on the paper's motivating deployment: an
+/// enterprise desktop grid running a mesh-based iterative PDE solver
+/// overnight.  The fleet mixes three machine classes:
+///   - workstations: fast, stable (rarely reclaimed, rarely crash),
+///   - desktops: medium speed, frequently reclaimed by their owners,
+///   - laptops: slow, reclaimed often and crash-prone (battery / undock).
+///
+/// The example compares every heuristic family on this platform and prints
+/// a per-class utilization profile for the winner, showing *why*
+/// failure-aware selection helps: it shifts work toward the stable class
+/// when tasks are long.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "markov/chain.hpp"
+#include "markov/expectation.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace volsched;
+
+/// Builds a 3-state chain from mean sojourns (in slots) and the crash
+/// shares of each state's exits.
+markov::MarkovChain chain_from_means(double mean_up, double mean_reclaimed,
+                                     double mean_down, double up_crash_share,
+                                     double reclaimed_crash_share) {
+    const double exit_u = 1.0 / mean_up;
+    const double exit_r = 1.0 / mean_reclaimed;
+    const double exit_d = 1.0 / mean_down;
+    return markov::MarkovChain(markov::TransitionMatrix({{
+        {1.0 - exit_u, exit_u * (1.0 - up_crash_share),
+         exit_u * up_crash_share},
+        {exit_r * (1.0 - reclaimed_crash_share), 1.0 - exit_r,
+         exit_r * reclaimed_crash_share},
+        {exit_d, 0.0, 1.0 - exit_d},
+    }}));
+}
+
+struct MachineClass {
+    const char* name;
+    int count;
+    int w;                  // slots per task
+    markov::MarkovChain chain;
+};
+
+} // namespace
+
+int main() {
+    // One slot ~ 1 minute.  Overnight run: 10 sweeps of a 24-tile mesh.
+    std::vector<MachineClass> classes = {
+        {"workstation", 6, 8,
+         chain_from_means(/*up=*/600, /*recl=*/30, /*down=*/120, 0.10, 0.05)},
+        {"desktop", 10, 14,
+         chain_from_means(/*up=*/90, /*recl=*/45, /*down=*/180, 0.15, 0.10)},
+        {"laptop", 8, 22,
+         chain_from_means(/*up=*/45, /*recl=*/40, /*down=*/240, 0.35, 0.25)},
+    };
+
+    sim::Platform platform;
+    platform.ncom = 4;   // office switch uplink: 4 concurrent feeds
+    platform.t_prog = 12; // solver binary + mesh geometry
+    platform.t_data = 3;  // per-tile boundary data
+    std::vector<markov::MarkovChain> chains;
+    std::vector<int> class_of;
+    for (std::size_t c = 0; c < classes.size(); ++c)
+        for (int i = 0; i < classes[c].count; ++i) {
+            platform.w.push_back(classes[c].w);
+            chains.push_back(classes[c].chain);
+            class_of.push_back(static_cast<int>(c));
+        }
+
+    sim::EngineConfig config;
+    config.iterations = 10;        // PDE sweeps
+    config.tasks_per_iteration = 24; // mesh tiles
+    config.replica_cap = 2;
+
+    const auto simulation =
+        sim::Simulation::from_chains(platform, chains, config, /*seed=*/7);
+
+    util::TextTable table({"heuristic", "makespan (min)", "crashes",
+                           "wasted compute", "replica wins"});
+    for (std::size_t c = 1; c < 5; ++c) table.align_right(c);
+
+    long long best = -1;
+    std::string best_name;
+    for (const auto& name : core::all_heuristic_names()) {
+        const auto sched = core::make_scheduler(name);
+        const auto m = simulation.run(*sched);
+        if (best < 0 || m.makespan < best) {
+            best = m.makespan;
+            best_name = name;
+        }
+        table.add_row({name, std::to_string(m.makespan),
+                       std::to_string(m.down_events),
+                       std::to_string(m.wasted_compute_slots),
+                       std::to_string(m.replica_wins)});
+    }
+    std::printf("%s", table.render("Overnight PDE sweep on a mixed desktop "
+                                   "grid (24 tiles x 10 sweeps)")
+                          .c_str());
+    std::printf("\nbest heuristic on this realization: %s (%lld minutes "
+                "simulated)\n",
+                best_name.c_str(), best);
+
+    // Utilization insight: expected completion time of one task per class
+    // under the Theorem 2 machinery — the quantity EMCT ranks by.
+    std::printf("\nper-class reliability profile (Theorem 2 view):\n");
+    for (const auto& mc : classes) {
+        const double e = markov::e_workload(mc.chain.matrix(),
+                                            platform.t_data + mc.w);
+        const double p = markov::workload_success_probability(
+            mc.chain.matrix(), platform.t_data + mc.w);
+        std::printf(
+            "  %-12s w=%2d  E[slots for data+task]=%6.1f  "
+            "P[no crash during it]=%.3f\n",
+            mc.name, mc.w, e, p);
+    }
+    std::puts("\nEMCT-family heuristics rank by E[slots]; LW/UD also weigh "
+              "the crash probability.");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/// \file offline_analysis.cpp
+/// Walks through the Section 4 (off-line complexity) toolkit:
+///   1. DOWN-elimination: rewrite a 3-state instance into an equivalent
+///      2-state one (the proof device that lets the theory ignore crashes),
+///   2. the off-line MCT list scheduler and its optimality certificate
+///      against the exact branch-and-bound solver (Proposition 2),
+///   3. the paper's counter-example showing MCT is *not* optimal once the
+///      master's bandwidth is bounded,
+///   4. a 3SAT formula pushed through the Theorem 1 reduction, with the
+///      constructive schedule of the satisfiability proof validated by the
+///      model checker.
+
+#include <cstdio>
+
+#include "offline/exact.hpp"
+#include "offline/instance.hpp"
+#include "offline/mct.hpp"
+#include "offline/render.hpp"
+#include "offline/sat.hpp"
+#include "offline/schedule.hpp"
+
+int main() {
+    using namespace volsched::offline;
+
+    // -- 1. DOWN elimination ------------------------------------------------
+    OfflineInstance inst;
+    inst.platform.w = {2, 3};
+    inst.platform.ncom = 2;
+    inst.platform.t_prog = 2;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 3;
+    inst.horizon = 20;
+    inst.states = states_from_strings(
+        {"uuuuuddduuuuuuuuuuuu", "uuuuuuuuuuuurrrrruuu"});
+    const auto reduced = two_state_reduction(inst);
+    std::printf("1. DOWN elimination: %d processors -> %d two-state "
+                "processors (no DOWN states remain)\n\n",
+                inst.num_procs(), reduced.num_procs());
+
+    // -- 2. MCT vs exact ----------------------------------------------------
+    const auto mct = mct_offline(inst);
+    const auto exact = solve_exact(inst);
+    std::printf("2. off-line MCT: makespan %d; exact optimum: %d "
+                "(ncom unbounded here, so they match: Proposition 2)\n",
+                mct.makespan, exact.makespan);
+    const auto v = validate(inst, mct.schedule);
+    std::printf("   MCT schedule checked by the validator: %s\n",
+                v.valid && v.all_done ? "valid, complete" : v.error.c_str());
+    std::printf("   (P program, D data, C compute, B both, r reclaimed, "
+                "d down)\n%s\n",
+                render_schedule(inst, mct.schedule).c_str());
+
+    // -- 3. Bounded bandwidth breaks MCT -------------------------------------
+    OfflineInstance example;
+    example.platform.w = {2, 2};
+    example.platform.ncom = 1;
+    example.platform.t_prog = 2;
+    example.platform.t_data = 2;
+    example.num_tasks = 2;
+    example.horizon = 9;
+    example.states = states_from_strings({"uuuuuurrr", "ruuuuuuuu"});
+    const auto opt = solve_exact(example);
+    std::printf("3. the paper's ncom=1 counter-example: optimum = %d slots; "
+                "MCT's greedy start (task on P1) forces 10.\n\n",
+                opt.makespan);
+
+    // -- 4. Theorem 1 gadget -------------------------------------------------
+    const auto sat = figure1_instance();
+    std::vector<bool> witness;
+    brute_force_sat(sat, &witness);
+    const auto gadget = sat_to_offline(sat);
+    const auto sched = schedule_from_assignment(sat, gadget, witness);
+    const auto gv = validate(gadget, sched);
+    std::printf("4. Figure 1 3SAT formula: satisfiable; reduction gives "
+                "p=%d procs, m=%d tasks, N=%d slots.\n"
+                "   constructive schedule: %s, finishes at slot %d <= N.\n",
+                gadget.num_procs(), gadget.num_tasks, gadget.horizon,
+                gv.valid && gv.all_done ? "valid" : gv.error.c_str(),
+                gv.makespan);
+    std::puts("\nTogether these artifacts certify the Section 4 theory: "
+              "scheduling is easy without bandwidth limits and NP-hard with "
+              "them.");
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "core/ct.hpp"
+
+#include <algorithm>
+
+namespace volsched::core {
+
+double ct_plain(const sim::SchedView& view, sim::ProcId q, int n) noexcept {
+    const sim::ProcView& pv = view.procs[q];
+    const double t_data = view.platform->t_data;
+    const double w = pv.w;
+    return pv.delay + t_data +
+           static_cast<double>(std::max(n - 1, 0)) * std::max(t_data, w) + w;
+}
+
+double ct_corrected(const sim::SchedView& view, sim::ProcId q, int n,
+                    bool already_assigned) noexcept {
+    const sim::ProcView& pv = view.procs[q];
+    // Prospective enrolment: assigning to a not-yet-active processor makes
+    // it active, so the congestion factor counts it.
+    const int nactive = view.nactive + (already_assigned ? 0 : 1);
+    const int ncom = view.platform->ncom;
+    const double factor =
+        static_cast<double>((nactive + ncom - 1) / ncom); // ceil
+    const double t_data = factor * view.platform->t_data;
+    const double w = pv.w;
+    return pv.delay + t_data +
+           static_cast<double>(std::max(n - 1, 0)) * std::max(t_data, w) + w;
+}
+
+} // namespace volsched::core

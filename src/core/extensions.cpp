@@ -1,0 +1,80 @@
+#include "core/extensions.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "core/ct.hpp"
+#include "markov/expectation.hpp"
+
+namespace volsched::core {
+
+ThresholdScheduler::ThresholdScheduler(std::unique_ptr<sim::Scheduler> inner,
+                                       double threshold)
+    : inner_(std::move(inner)), threshold_(threshold) {
+    if (!inner_)
+        throw std::invalid_argument("ThresholdScheduler: null inner");
+    if (threshold_ < 0.0 || threshold_ > 1.0)
+        throw std::invalid_argument(
+            "ThresholdScheduler: threshold outside [0, 1]");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "thr%d:%s",
+                  static_cast<int>(std::lround(100.0 * threshold_)),
+                  std::string(inner_->name()).c_str());
+    name_ = buf;
+}
+
+void ThresholdScheduler::begin_round(const sim::SchedView& view) {
+    inner_->begin_round(view);
+}
+
+sim::ProcId ThresholdScheduler::select(const sim::SchedView& view,
+                                       std::span<const sim::ProcId> eligible,
+                                       std::span<const int> nq,
+                                       util::Rng& rng) {
+    filtered_.clear();
+    for (const sim::ProcId q : eligible) {
+        const auto* belief = view.procs[q].belief;
+        // Uninformed processors cannot be judged; keep them.
+        if (belief == nullptr ||
+            belief->stationary().pi_u >= threshold_)
+            filtered_.push_back(q);
+    }
+    if (filtered_.empty())
+        return inner_->select(view, eligible, nq, rng);
+    return inner_->select(view, filtered_, nq, rng);
+}
+
+sim::ProcId HybridScheduler::select(const sim::SchedView& view,
+                                    std::span<const sim::ProcId> eligible,
+                                    std::span<const int> nq, util::Rng& rng) {
+    (void)rng;
+    sim::ProcId best = eligible[0];
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const sim::ProcId q : eligible) {
+        const double ct = ct_plain(view, q, nq[q] + 1);
+        double score = ct;
+        if (const auto* belief = view.procs[q].belief) {
+            const auto& m = belief->matrix();
+            const auto& pi = belief->stationary();
+            const double expected = markov::e_workload(m, ct);
+            if (std::isinf(expected)) {
+                score = std::numeric_limits<double>::infinity();
+            } else {
+                const double p_survive =
+                    markov::p_ud_approx(m, pi.pi_u, pi.pi_r, expected);
+                score = p_survive > 0.0
+                            ? expected / p_survive
+                            : std::numeric_limits<double>::infinity();
+            }
+        }
+        if (score < best_score) {
+            best_score = score;
+            best = q;
+        }
+    }
+    return best;
+}
+
+} // namespace volsched::core

@@ -1,0 +1,33 @@
+#pragma once
+/// \file factory.hpp
+/// String-keyed construction of every heuristic in the paper, for the
+/// experiment harness, benches and examples.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace volsched::core {
+
+/// All seventeen heuristic names of Section 6 in the paper's Table 2 order:
+/// emct, emct*, mct, mct*, ud*, ud, lw*, lw, random1w..random4w (w-variants),
+/// random1..random4, random.
+const std::vector<std::string>& all_heuristic_names();
+
+/// The eight greedy heuristics (Table 3 / Figure 2 focus).
+const std::vector<std::string>& greedy_heuristic_names();
+
+/// Extension heuristics (not part of the paper's evaluation): "hybrid"
+/// (restart-aware expected completion) and the threshold-exclusion family
+/// "thr<percent>:<inner>" (e.g. "thr50:emct" excludes processors whose
+/// steady-state pi_u is below 0.50 and runs EMCT among the rest).
+const std::vector<std::string>& extension_heuristic_names();
+
+/// Constructs a heuristic by name; throws std::invalid_argument for an
+/// unknown name.  Names are case-sensitive and match Table 2 (lowercased,
+/// e.g. "emct*", "random2w"); extension names as documented above.
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name);
+
+} // namespace volsched::core

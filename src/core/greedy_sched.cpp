@@ -1,0 +1,84 @@
+#include "core/greedy_sched.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/ct.hpp"
+#include "markov/expectation.hpp"
+
+namespace volsched::core {
+
+GreedyScheduler::GreedyScheduler(std::string base_name, bool starred_variant)
+    : name_(std::move(base_name)), starred_(starred_variant) {
+    if (starred_) name_ += "*";
+}
+
+sim::ProcId GreedyScheduler::select(const sim::SchedView& view,
+                                    std::span<const sim::ProcId> eligible,
+                                    std::span<const int> nq, util::Rng& rng) {
+    (void)rng;
+    sim::ProcId best = eligible[0];
+    double best_score = std::numeric_limits<double>::infinity();
+    double best_ct = std::numeric_limits<double>::infinity();
+    for (sim::ProcId q : eligible) {
+        const double ct =
+            ct_estimate(view, q, nq[q] + 1, nq[q] > 0, starred_);
+        const double s = score(view, q, ct);
+        if (s < best_score - 1e-12 ||
+            (std::fabs(s - best_score) <= 1e-12 && ct < best_ct)) {
+            best = q;
+            best_score = s;
+            best_ct = ct;
+        }
+    }
+    return best;
+}
+
+MctScheduler::MctScheduler(bool starred_variant)
+    : GreedyScheduler("mct", starred_variant) {}
+
+double MctScheduler::score(const sim::SchedView&, sim::ProcId,
+                           double ct) const {
+    return ct;
+}
+
+EmctScheduler::EmctScheduler(bool starred_variant)
+    : GreedyScheduler("emct", starred_variant) {}
+
+double EmctScheduler::score(const sim::SchedView& view, sim::ProcId q,
+                            double ct) const {
+    const auto* belief = view.procs[q].belief;
+    if (belief == nullptr) return ct; // uninformed: degrade to MCT
+    return markov::e_workload(belief->matrix(), ct);
+}
+
+LwScheduler::LwScheduler(bool starred_variant)
+    : GreedyScheduler("lw", starred_variant) {}
+
+double LwScheduler::score(const sim::SchedView& view, sim::ProcId q,
+                          double ct) const {
+    const auto* belief = view.procs[q].belief;
+    if (belief == nullptr) return 0.0; // uninformed: all ties, CT breaks them
+    const double p = markov::p_plus(belief->matrix());
+    if (p <= 0.0) return std::numeric_limits<double>::infinity();
+    // Maximize p^ct  <=>  minimize -ct * ln(p)  (ln(p) <= 0).
+    return -ct * std::log(p);
+}
+
+UdScheduler::UdScheduler(bool starred_variant)
+    : GreedyScheduler("ud", starred_variant) {}
+
+double UdScheduler::score(const sim::SchedView& view, sim::ProcId q,
+                          double ct) const {
+    const auto* belief = view.procs[q].belief;
+    if (belief == nullptr) return 0.0;
+    const auto& m = belief->matrix();
+    const auto& pi = belief->stationary();
+    const double expected = markov::e_workload(m, ct);
+    if (std::isinf(expected)) return std::numeric_limits<double>::infinity();
+    const double p = markov::p_ud_approx(m, pi.pi_u, pi.pi_r, expected);
+    // Maximize p  <=>  minimize -p (log not needed: p is a single factor).
+    return -p;
+}
+
+} // namespace volsched::core

@@ -1,0 +1,90 @@
+#pragma once
+/// \file greedy_sched.hpp
+/// The eight greedy heuristics of Section 6.3, all built on the completion
+/// time estimators of ct.hpp and the Markov formulas of Section 5:
+///
+///   MCT / MCT*   — minimize CT(q, nq+1)                     (Eq. 1 / Eq. 2)
+///   EMCT / EMCT* — minimize E^q(CT(q, nq+1))                (Theorem 2)
+///   LW / LW*     — maximize (P+^q)^{CT(q, nq+1)}            (Lemma 1)
+///   UD / UD*     — maximize P_UD^q(E^q(CT(q, nq+1)))        (Section 6.3.3)
+///
+/// Ties are broken toward the smaller CT estimate, then the lower processor
+/// index, making every greedy heuristic fully deterministic.
+
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace volsched::core {
+
+/// Shared skeleton: score every eligible processor, keep the best.
+class GreedyScheduler : public sim::Scheduler {
+public:
+    sim::ProcId select(const sim::SchedView& view,
+                       std::span<const sim::ProcId> eligible,
+                       std::span<const int> nq, util::Rng& rng) final;
+    [[nodiscard]] std::string_view name() const final { return name_; }
+
+protected:
+    GreedyScheduler(std::string base_name, bool starred);
+
+    /// Returns the score of assigning the next instance to q; *smaller is
+    /// better* (maximizing heuristics negate).  `ct` is the matching
+    /// completion-time estimate, provided for tie-breaking.
+    [[nodiscard]] virtual double score(const sim::SchedView& view,
+                                       sim::ProcId q, double ct) const = 0;
+
+    [[nodiscard]] bool starred() const noexcept { return starred_; }
+
+private:
+    std::string name_;
+    bool starred_;
+};
+
+/// MCT and MCT* (Section 6.3.1): minimum estimated completion time — the
+/// optimal policy for the contention-free off-line problem (Proposition 2).
+class MctScheduler final : public GreedyScheduler {
+public:
+    explicit MctScheduler(bool starred_variant);
+
+protected:
+    double score(const sim::SchedView& view, sim::ProcId q,
+                 double ct) const override;
+};
+
+/// EMCT and EMCT*: minimum *expected* completion time, inflating CT by the
+/// expected RECLAIMED detours via Theorem 2.
+class EmctScheduler final : public GreedyScheduler {
+public:
+    explicit EmctScheduler(bool starred_variant);
+
+protected:
+    double score(const sim::SchedView& view, sim::ProcId q,
+                 double ct) const override;
+};
+
+/// LW and LW* (Section 6.3.2): maximize the probability that the processor
+/// stays failure-free for its whole estimated workload, (P+)^CT.  Scores
+/// compare CT * ln(P+) to avoid underflow for large workloads.
+class LwScheduler final : public GreedyScheduler {
+public:
+    explicit LwScheduler(bool starred_variant);
+
+protected:
+    double score(const sim::SchedView& view, sim::ProcId q,
+                 double ct) const override;
+};
+
+/// UD and UD* (Section 6.3.3): maximize the probability of not crashing
+/// during the *expected* number of wall-clock slots E(CT), RECLAIMED slots
+/// included, using the paper's closed-form P_UD approximation.
+class UdScheduler final : public GreedyScheduler {
+public:
+    explicit UdScheduler(bool starred_variant);
+
+protected:
+    double score(const sim::SchedView& view, sim::ProcId q,
+                 double ct) const override;
+};
+
+} // namespace volsched::core

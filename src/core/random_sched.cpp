@@ -1,0 +1,51 @@
+#include "core/random_sched.hpp"
+
+#include "markov/expectation.hpp"
+
+namespace volsched::core {
+
+RandomScheduler::RandomScheduler(RandomWeight weight, bool divide_by_speed)
+    : weight_(weight), divide_by_speed_(divide_by_speed) {
+    switch (weight_) {
+        case RandomWeight::Uniform: name_ = "random"; break;
+        case RandomWeight::LongTimeUp: name_ = "random1"; break;
+        case RandomWeight::LikelyWorkMore: name_ = "random2"; break;
+        case RandomWeight::OftenUp: name_ = "random3"; break;
+        case RandomWeight::RarelyDown: name_ = "random4"; break;
+    }
+    if (divide_by_speed_ && weight_ != RandomWeight::Uniform) name_ += "w";
+}
+
+double RandomScheduler::weight_of(const sim::ProcView& pv) const {
+    double w = 1.0;
+    if (pv.belief != nullptr) {
+        const auto& m = pv.belief->matrix();
+        const auto& pi = pv.belief->stationary();
+        switch (weight_) {
+            case RandomWeight::Uniform: w = 1.0; break;
+            case RandomWeight::LongTimeUp: w = m.p_uu(); break;
+            case RandomWeight::LikelyWorkMore: w = markov::p_plus(m); break;
+            case RandomWeight::OftenUp: w = pi.pi_u; break;
+            case RandomWeight::RarelyDown: w = 1.0 - pi.pi_d; break;
+        }
+    }
+    if (divide_by_speed_) w /= static_cast<double>(pv.w);
+    return w;
+}
+
+sim::ProcId RandomScheduler::select(const sim::SchedView& view,
+                                    std::span<const sim::ProcId> eligible,
+                                    std::span<const int> nq, util::Rng& rng) {
+    (void)nq;
+    weights_.resize(eligible.size());
+    for (std::size_t i = 0; i < eligible.size(); ++i)
+        weights_[i] = weight_of(view.procs[eligible[i]]);
+    const std::size_t idx = rng.weighted_index(weights_.data(), weights_.size());
+    if (idx >= eligible.size()) {
+        // All weights zero (e.g. pi_u == 0 everywhere): fall back to uniform.
+        return eligible[rng.uniform_int(0, eligible.size() - 1)];
+    }
+    return eligible[idx];
+}
+
+} // namespace volsched::core

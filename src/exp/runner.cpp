@@ -1,0 +1,32 @@
+#include "exp/runner.hpp"
+
+#include "core/factory.hpp"
+
+namespace volsched::exp {
+
+InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
+                             const std::vector<std::string>& heuristics,
+                             const RunConfig& cfg, std::uint64_t trial_seed) {
+    sim::EngineConfig ec;
+    ec.iterations = cfg.iterations;
+    ec.tasks_per_iteration = tasks;
+    ec.replica_cap = cfg.replica_cap;
+    ec.max_slots = cfg.max_slots;
+    ec.plan_class = cfg.plan_class;
+
+    const auto simulation =
+        sim::Simulation::from_chains(rs.platform, rs.chains, ec, trial_seed);
+
+    InstanceOutcome out;
+    out.makespans.reserve(heuristics.size());
+    out.metrics.reserve(heuristics.size());
+    for (const auto& name : heuristics) {
+        const auto sched = core::make_scheduler(name);
+        const auto metrics = simulation.run(*sched);
+        out.makespans.push_back(metrics.makespan);
+        out.metrics.push_back(metrics);
+    }
+    return out;
+}
+
+} // namespace volsched::exp

@@ -1,0 +1,35 @@
+#pragma once
+/// \file runner.hpp
+/// Runs a set of heuristics against one problem instance (scenario x trial
+/// seed): every heuristic faces the identical availability realization, so
+/// per-instance degradation-from-best is well defined.
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace volsched::exp {
+
+struct InstanceOutcome {
+    /// makespans[i] for heuristic i (engine horizon when not completed).
+    std::vector<long long> makespans;
+    std::vector<sim::RunMetrics> metrics;
+};
+
+/// Simulation knobs shared by a whole sweep.
+struct RunConfig {
+    int iterations = 10;
+    int replica_cap = 2;
+    long long max_slots = 2'000'000;
+    sim::SchedulerClass plan_class = sim::SchedulerClass::Dynamic;
+};
+
+/// Runs each heuristic (by factory name) once on the given realized
+/// scenario with the trial-specific seed.
+InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
+                             const std::vector<std::string>& heuristics,
+                             const RunConfig& cfg, std::uint64_t trial_seed);
+
+} // namespace volsched::exp

@@ -1,0 +1,33 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/gen.hpp"
+#include "util/rng.hpp"
+
+namespace volsched::exp {
+
+RealizedScenario realize(const Scenario& sc) {
+    if (sc.p <= 0 || sc.tasks <= 0 || sc.ncom <= 0 || sc.wmin <= 0)
+        throw std::invalid_argument("realize: non-positive scenario parameter");
+    RealizedScenario out;
+    util::Rng rng(util::mix_seed(sc.seed, 0x5343454eULL));
+
+    out.platform.ncom = sc.ncom;
+    out.platform.t_data = std::max(
+        1, static_cast<int>(std::lround(sc.tdata_factor * sc.wmin)));
+    out.platform.t_prog = std::max(
+        1, static_cast<int>(std::lround(sc.tprog_factor * sc.wmin)));
+    out.platform.w.reserve(static_cast<std::size_t>(sc.p));
+    for (int q = 0; q < sc.p; ++q)
+        out.platform.w.push_back(static_cast<int>(
+            rng.uniform_int(sc.wmin, static_cast<std::uint64_t>(10) * sc.wmin)));
+
+    out.chains = markov::generate_chains(static_cast<std::size_t>(sc.p), rng,
+                                         sc.recipe);
+    return out;
+}
+
+} // namespace volsched::exp

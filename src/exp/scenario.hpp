@@ -1,0 +1,41 @@
+#pragma once
+/// \file scenario.hpp
+/// Experimental scenarios exactly as Section 7 instantiates them:
+/// p = 20 processors; availability chains drawn with P(x,x) ~ U[0.90, 0.99]
+/// and the remaining mass split evenly; w_q ~ U[wmin, 10*wmin];
+/// Tdata = tdata_factor * wmin (paper: 1, contention-prone runs: 5 or 10);
+/// Tprog = tprog_factor * wmin (paper: 5, contention-prone: 25 or 50).
+
+#include <cstdint>
+
+#include "markov/chain.hpp"
+#include "markov/gen.hpp"
+#include "sim/platform.hpp"
+
+namespace volsched::exp {
+
+/// Parameters identifying one experimental scenario (one cell draw).
+struct Scenario {
+    int p = 20;
+    int tasks = 10;  ///< the paper's n: tasks per iteration
+    int ncom = 5;
+    int wmin = 1;
+    double tdata_factor = 1.0;
+    double tprog_factor = 5.0;
+    /// Availability-chain draw bounds; default is the paper's recipe
+    /// (self-transition probability in [0.90, 0.99]).  Lower bounds mean
+    /// shorter availability intervals, i.e. a more volatile platform.
+    markov::ChainRecipe recipe{};
+    std::uint64_t seed = 0; ///< drives chain + speed draws
+};
+
+/// A scenario materialized into a platform and per-processor chains.
+struct RealizedScenario {
+    sim::Platform platform;
+    std::vector<markov::MarkovChain> chains;
+};
+
+/// Deterministically realizes a scenario from its seed.
+RealizedScenario realize(const Scenario& sc);
+
+} // namespace volsched::exp

@@ -1,0 +1,55 @@
+#pragma once
+/// \file shape.hpp
+/// Automated reproduction verdicts.  Absolute dfb values depend on the
+/// instance sample, but the paper's conclusions are *qualitative ordering
+/// claims* — who beats whom, where the crossovers fall.  This module
+/// encodes those claims as machine-checkable predicates over sweep results,
+/// so `bench_table2` & co. can print PASS/FAIL lines and the test suite can
+/// assert the reproduction holds on small sweeps.
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace volsched::exp {
+
+struct ShapeCheck {
+    std::string description;
+    bool passed = false;
+    double lhs = 0.0; ///< the two quantities that were compared
+    double rhs = 0.0;
+};
+
+/// Table 2 claims, for a sweep over core::all_heuristic_names() (17 names
+/// in the canonical factory order):
+///  - the EMCT family beats the MCT family (10%-better-makespan headline),
+///  - MCT beats UD beats LW on average dfb,
+///  - every speed-weighted random beats its unweighted sibling,
+///  - every greedy heuristic beats every random one,
+///  - the EMCT family collects the most wins.
+std::vector<ShapeCheck> check_table2_shape(const SweepResult& result);
+
+/// Figure 2 claims, for a sweep over {mct, mct*, emct, emct*, ud*, lw*}:
+///  - a crossover exists: EMCT dips below MCT at some wmin,
+///  - EMCT stays below MCT on the upper half of the wmin range,
+///  - UD* and LW* improve monotonically-in-trend from wmin=1 to wmin=max
+///    (first value strictly worse than last).
+std::vector<ShapeCheck> check_figure2_shape(const SweepResult& result);
+
+/// Table 3 claims, for two sweeps over core::greedy_heuristic_names()
+/// ({mct, mct*, emct, emct*, lw, lw*, ud, ud*}):
+///  - x5: an EMCT-family member is best,
+///  - x10: a UD-family member is best,
+///  - x10: plain MCT's collapse — worst of all greedy heuristics and at
+///    least 2x the dfb of the best.
+std::vector<ShapeCheck> check_table3_shape(const SweepResult& x5,
+                                           const SweepResult& x10);
+
+/// Renders one line per check: "[PASS] description (lhs vs rhs)".
+std::string render_checks(const std::vector<ShapeCheck>& checks);
+
+/// True when every check passed.
+bool all_passed(const std::vector<ShapeCheck>& checks);
+
+} // namespace volsched::exp

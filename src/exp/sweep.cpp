@@ -1,0 +1,86 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace volsched::exp {
+namespace {
+
+struct Job {
+    Scenario scenario;
+    std::uint64_t scenario_ordinal; // global, seeds the scenario and trials
+};
+
+} // namespace
+
+SweepResult run_sweep(const SweepConfig& cfg,
+                      const std::vector<std::string>& heuristics) {
+    SweepResult result(heuristics);
+
+    // Enumerate jobs: one per (cell, scenario draw).
+    std::vector<Job> jobs;
+    std::uint64_t ordinal = 0;
+    for (int tasks : cfg.tasks_values)
+        for (int ncom : cfg.ncom_values)
+            for (int wmin : cfg.wmin_values)
+                for (int s = 0; s < cfg.scenarios_per_cell; ++s) {
+                    Job job;
+                    job.scenario.p = cfg.p;
+                    job.scenario.tasks = tasks;
+                    job.scenario.ncom = ncom;
+                    job.scenario.wmin = wmin;
+                    job.scenario.tdata_factor = cfg.tdata_factor;
+                    job.scenario.tprog_factor = cfg.tprog_factor;
+                    job.scenario.seed =
+                        util::mix_seed(cfg.master_seed, 0x5343u, ordinal);
+                    job.scenario_ordinal = ordinal++;
+                    jobs.push_back(job);
+                }
+
+    const long long total_instances =
+        static_cast<long long>(jobs.size()) * cfg.trials_per_scenario;
+    std::atomic<long long> completed{0};
+
+    // Per-job local tables, merged sequentially afterwards so the result is
+    // bit-identical regardless of thread interleaving.
+    std::vector<DfbTable> local(jobs.size(), DfbTable(heuristics.size()));
+
+    util::ThreadPool pool(cfg.threads);
+    std::mutex record_mutex;
+    pool.parallel_for(jobs.size(), [&](std::size_t j) {
+        const Job& job = jobs[j];
+        const RealizedScenario rs = realize(job.scenario);
+        for (int trial = 0; trial < cfg.trials_per_scenario; ++trial) {
+            const std::uint64_t trial_seed = util::mix_seed(
+                cfg.master_seed, 0x54524cULL, job.scenario_ordinal,
+                static_cast<std::uint64_t>(trial));
+            const auto outcome = run_instance(rs, job.scenario.tasks,
+                                              heuristics, cfg.run, trial_seed);
+            local[j].add_instance(outcome.makespans);
+            if (cfg.record) {
+                std::lock_guard lock(record_mutex);
+                cfg.record(job.scenario, trial, outcome.makespans);
+            }
+            const long long done = ++completed;
+            if (cfg.progress) cfg.progress(done, total_instances);
+        }
+    });
+
+    auto merge_into = [&](std::map<int, DfbTable>& table, int key,
+                          const DfbTable& part) {
+        auto [it, inserted] = table.try_emplace(key, heuristics.size());
+        it->second.merge(part);
+    };
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        result.overall.merge(local[j]);
+        merge_into(result.by_wmin, jobs[j].scenario.wmin, local[j]);
+        merge_into(result.by_tasks, jobs[j].scenario.tasks, local[j]);
+        merge_into(result.by_ncom, jobs[j].scenario.ncom, local[j]);
+    }
+    return result;
+}
+
+} // namespace volsched::exp

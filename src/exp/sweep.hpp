@@ -1,0 +1,61 @@
+#pragma once
+/// \file sweep.hpp
+/// The full experimental campaign driver: Table 1 grid x scenarios x trials,
+/// each instance run under every heuristic, reduced into overall and
+/// per-wmin degradation-from-best tables.  Instances are distributed over a
+/// thread pool; every instance derives its own RNG streams from the master
+/// seed, so results are independent of thread count and scheduling order.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/dfb.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace volsched::exp {
+
+struct SweepConfig {
+    std::vector<int> tasks_values{5, 10, 20, 40}; ///< paper's n
+    std::vector<int> ncom_values{5, 10, 20};
+    std::vector<int> wmin_values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    int scenarios_per_cell = 3;   ///< paper: 247
+    int trials_per_scenario = 3;  ///< paper: 10
+    int p = 20;
+    double tdata_factor = 1.0;
+    double tprog_factor = 5.0;
+    RunConfig run;
+    std::uint64_t master_seed = 0xC0FFEEULL;
+    std::size_t threads = 0; ///< 0: hardware concurrency
+    /// Optional progress callback (instances completed, instances total).
+    std::function<void(long long, long long)> progress;
+    /// Optional raw-result sink, called once per instance with the scenario,
+    /// the trial index, and the per-heuristic makespans (aligned with the
+    /// sweep's heuristic list).  Serialized by the driver: implementations
+    /// need no locking.  Useful for exporting full distributions.
+    std::function<void(const Scenario&, int,
+                       const std::vector<long long>&)>
+        record;
+};
+
+struct SweepResult {
+    std::vector<std::string> heuristics;
+    DfbTable overall;
+    /// Keyed by wmin — the Figure 2 series.
+    std::map<int, DfbTable> by_wmin;
+    /// Keyed by tasks-per-iteration (the paper's n).
+    std::map<int, DfbTable> by_tasks;
+    /// Keyed by the master's concurrency bound ncom.
+    std::map<int, DfbTable> by_ncom;
+
+    SweepResult(std::vector<std::string> names)
+        : heuristics(std::move(names)), overall(heuristics.size()) {}
+};
+
+/// Runs the sweep; deterministic for a fixed config regardless of threads.
+SweepResult run_sweep(const SweepConfig& cfg,
+                      const std::vector<std::string>& heuristics);
+
+} // namespace volsched::exp

@@ -1,0 +1,56 @@
+#pragma once
+/// \file availability.hpp
+/// Pluggable availability-process interface.  The simulator advances each
+/// processor's state one slot at a time through this interface, so the same
+/// engine runs Markov chains (the paper's model), replayed traces, or
+/// semi-Markov processes (the paper's future-work direction).
+
+#include <memory>
+
+#include "markov/chain.hpp"
+#include "markov/state.hpp"
+#include "util/rng.hpp"
+
+namespace volsched::markov {
+
+/// One availability process for one processor.  Implementations may be
+/// stateful (e.g., a semi-Markov sojourn countdown), hence clone() for
+/// spawning per-processor instances from a prototype.
+class AvailabilityModel {
+public:
+    virtual ~AvailabilityModel() = default;
+
+    /// State at slot 0.
+    virtual ProcState initial_state(util::Rng& rng) = 0;
+
+    /// State at slot t+1 given the state at slot t.
+    virtual ProcState next_state(ProcState current, util::Rng& rng) = 0;
+
+    /// Deep copy, resetting any per-run internal state.
+    [[nodiscard]] virtual std::unique_ptr<AvailabilityModel> clone() const = 0;
+};
+
+/// How processors start at slot 0.
+enum class InitialState {
+    AlwaysUp,   ///< everyone starts UP (paper experiments start this way)
+    Stationary, ///< draw from the chain's limit distribution
+};
+
+/// The paper's model: a time-homogeneous 3-state Markov chain.
+class MarkovAvailability final : public AvailabilityModel {
+public:
+    explicit MarkovAvailability(MarkovChain chain,
+                                InitialState init = InitialState::AlwaysUp);
+
+    ProcState initial_state(util::Rng& rng) override;
+    ProcState next_state(ProcState current, util::Rng& rng) override;
+    [[nodiscard]] std::unique_ptr<AvailabilityModel> clone() const override;
+
+    [[nodiscard]] const MarkovChain& chain() const noexcept { return chain_; }
+
+private:
+    MarkovChain chain_;
+    InitialState init_;
+};
+
+} // namespace volsched::markov

@@ -1,0 +1,134 @@
+#include "markov/expectation.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace volsched::markov {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// 2x2 matrix over the {u, r} states, used for the exact P_UD computation.
+struct M2 {
+    double a, b, c, d; // [[a b],[c d]]
+
+    M2 multiply(const M2& o) const noexcept {
+        return {a * o.a + b * o.c, a * o.b + b * o.d, c * o.a + d * o.c,
+                c * o.b + d * o.d};
+    }
+};
+
+M2 power2(M2 base, unsigned k) noexcept {
+    M2 result{1.0, 0.0, 0.0, 1.0};
+    while (k > 0) {
+        if (k & 1u) result = result.multiply(base);
+        base = base.multiply(base);
+        k >>= 1u;
+    }
+    return result;
+}
+
+} // namespace
+
+double p_plus(const TransitionMatrix& m) noexcept {
+    const double denom = 1.0 - m.p_rr();
+    if (denom <= 0.0) return m.p_uu(); // RECLAIMED absorbing: never comes back
+    return m.p_uu() + m.p_ur() * m.p_ru() / denom;
+}
+
+double e_up(const TransitionMatrix& m) noexcept {
+    const double one_minus_rr = 1.0 - m.p_rr();
+    if (one_minus_rr <= 0.0) {
+        // RECLAIMED is absorbing; conditioned on returning UP the only path
+        // is the direct u->u transition, which takes exactly one slot.
+        return m.p_uu() > 0.0 ? 1.0 : kInf;
+    }
+    const double num = m.p_ur() * m.p_ru();
+    const double puu = m.p_uu();
+    if (puu <= 0.0) {
+        if (num <= 0.0) return kInf; // no path back to UP at all
+        // z -> infinity: every return detours through RECLAIMED.
+        return 1.0 + 1.0 / one_minus_rr;
+    }
+    const double z = num / (puu * one_minus_rr);
+    return 1.0 + z / (one_minus_rr * (1.0 + z));
+}
+
+double e_workload(const TransitionMatrix& m, double workload) noexcept {
+    if (workload <= 0.0) return 0.0;
+    if (workload <= 1.0) return workload; // already UP for the current slot
+    const double eu = e_up(m);
+    if (std::isinf(eu)) return kInf;
+    return 1.0 + (workload - 1.0) * eu;
+}
+
+double workload_success_probability(const TransitionMatrix& m,
+                                    double workload) noexcept {
+    if (workload <= 1.0) return 1.0;
+    return std::pow(p_plus(m), workload - 1.0);
+}
+
+double p_ud_exact(const TransitionMatrix& m, unsigned k) noexcept {
+    if (k <= 1) return 1.0;
+    const M2 base{m.p_uu(), m.p_ur(), m.p_ru(), m.p_rr()};
+    const M2 mk = power2(base, k - 1);
+    // Start in u: row u of M^(k-1) sums the probability mass of all paths
+    // that stay within {u, r} for k-1 transitions.
+    return mk.a + mk.b;
+}
+
+namespace {
+
+/// Solves the 2x2 first-passage system
+///   h_a = 1 + p_aa h_a + p_ab h_b
+///   h_b = 1 + p_ba h_a + p_bb h_b
+/// and returns h_a; +infinity when the absorbing target is unreachable
+/// (singular system).
+double first_passage(double p_aa, double p_ab, double p_ba,
+                     double p_bb) noexcept {
+    // (I - Q) h = 1 with Q = [[p_aa, p_ab], [p_ba, p_bb]].
+    const double a = 1.0 - p_aa;
+    const double b = -p_ab;
+    const double c = -p_ba;
+    const double d = 1.0 - p_bb;
+    const double det = a * d - b * c;
+    if (det <= 1e-15) return kInf;
+    // h_a = (d*1 - b*1) / det by Cramer's rule.
+    return (d - b) / det;
+}
+
+} // namespace
+
+double mean_time_to_down(const TransitionMatrix& m) noexcept {
+    return first_passage(m.p_uu(), m.p_ur(), m.p_ru(), m.p_rr());
+}
+
+double mean_time_to_down_from_reclaimed(const TransitionMatrix& m) noexcept {
+    // Same system with the roles of u and r swapped for the start state.
+    return first_passage(m.p_rr(), m.p_ru(), m.p_ur(), m.p_uu());
+}
+
+double mean_recovery_time(const TransitionMatrix& m) noexcept {
+    // First passage to UP over the transient states {d, r}.
+    return first_passage(m.p_dd(), m.p_dr(), m.p_rd(), m.p_rr());
+}
+
+double mean_up_run(const TransitionMatrix& m) noexcept {
+    const double exit = 1.0 - m.p_uu();
+    return exit <= 0.0 ? kInf : 1.0 / exit;
+}
+
+double p_ud_approx(const TransitionMatrix& m, double pi_u, double pi_r,
+                   double k) noexcept {
+    if (k <= 1.0) return 1.0;
+    const double first = 1.0 - m.p_ud();
+    if (k <= 2.0) return first;
+    const double denom = pi_u + pi_r;
+    if (denom <= 0.0) return 0.0; // chain spends all steady-state time DOWN
+    const double per_slot =
+        1.0 - (m.p_ud() * pi_u + m.p_rd() * pi_r) / denom;
+    if (per_slot <= 0.0) return 0.0;
+    return first * std::pow(per_slot, k - 2.0);
+}
+
+} // namespace volsched::markov

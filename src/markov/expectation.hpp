@@ -1,0 +1,77 @@
+#pragma once
+/// \file expectation.hpp
+/// Closed-form reliability formulas from Section 5 of the paper:
+///  - Lemma 1:  P+ — probability an UP processor is UP again before DOWN.
+///  - Theorem 2: E(W) — expected slots to complete a W-slot workload, given
+///    the processor never goes DOWN in between.
+///  - Section 6.3.3: P_UD(k) — probability of avoiding DOWN for k slots,
+///    both the exact matrix-power form and the paper's 1-step approximation.
+///
+/// These quantities drive the EMCT/EMCT*, LW/LW* and UD/UD* heuristics.
+
+#include "markov/transition.hpp"
+
+namespace volsched::markov {
+
+/// Lemma 1: probability that a processor currently UP will be UP at some
+/// later slot without entering DOWN in between:
+///   P+ = P_uu + P_ur * P_ru / (1 - P_rr).
+/// When P_rr == 1 (absorbing RECLAIMED) the geometric series vanishes and
+/// P+ = P_uu.
+double p_plus(const TransitionMatrix& m) noexcept;
+
+/// Expected number of slots separating two consecutive UP slots, conditioned
+/// on no DOWN in between (the E(up) of Theorem 2's proof):
+///   E(up) = 1 + z / ((1 - P_rr)(1 + z)),   z = P_ur P_ru / (P_uu (1 - P_rr)).
+/// Returns +infinity when the conditional event has probability zero
+/// (P+ == 0).
+double e_up(const TransitionMatrix& m) noexcept;
+
+/// Theorem 2: conditional expectation of the number of slots needed by a
+/// processor, currently UP, to accumulate `workload` UP slots without going
+/// DOWN:
+///   E(W) = 1 + (W - 1) * E(up)
+///        = W + (W-1) * (P_ur P_ru)/(1-P_rr) / (P_uu (1-P_rr) + P_ur P_ru).
+/// `workload` <= 0 returns 0 (nothing to do).
+double e_workload(const TransitionMatrix& m, double workload) noexcept;
+
+/// Probability that the whole workload completes before the processor goes
+/// DOWN: P+^(W-1) (the processor needs W-1 further UP slots).
+double workload_success_probability(const TransitionMatrix& m,
+                                    double workload) noexcept;
+
+/// Exact P_UD(k): probability that a processor starting UP does not enter
+/// DOWN during k consecutive slots (k >= 1; the current slot counts).
+/// Computed as  [1 1] * M^(k-1) * [1 0]^T  where M is the {u,r}-restricted
+/// sub-matrix, evaluated by exponentiation-by-squaring.
+double p_ud_exact(const TransitionMatrix& m, unsigned k) noexcept;
+
+/// The paper's closed-form approximation of P_UD(k) (Section 6.3.3), which
+/// forgets the exact state after the first transition and uses stationary
+/// weights for the mixture:
+///   P_UD(k) ~= (1 - P_ud) * (1 - (P_ud pi_u + P_rd pi_r)/(pi_u + pi_r))^(k-2).
+/// Requires the stationary distribution; k <= 1 returns 1, k == 2 returns
+/// (1 - P_ud).
+double p_ud_approx(const TransitionMatrix& m, double pi_u, double pi_r,
+                   double k) noexcept;
+
+/// Mean time to failure: expected number of slots until the chain first
+/// enters DOWN, starting from UP (the current slot not counted).  Solves
+/// the 2x2 first-passage system
+///   h_u = 1 + P_uu h_u + P_ur h_r,  h_r = 1 + P_ru h_u + P_rr h_r.
+/// Returns +infinity when DOWN is unreachable from {u, r}.
+double mean_time_to_down(const TransitionMatrix& m) noexcept;
+
+/// Same first-passage expectation started from RECLAIMED.
+double mean_time_to_down_from_reclaimed(const TransitionMatrix& m) noexcept;
+
+/// Mean repair time: expected slots until the chain first enters UP,
+/// starting from DOWN.  Solves the analogous system over {d, r}.
+/// Returns +infinity when UP is unreachable.
+double mean_recovery_time(const TransitionMatrix& m) noexcept;
+
+/// Expected length of an uninterrupted UP run (geometric sojourn):
+/// 1 / (1 - P_uu); +infinity when P_uu == 1.
+double mean_up_run(const TransitionMatrix& m) noexcept;
+
+} // namespace volsched::markov

@@ -1,0 +1,29 @@
+#include "markov/gen.hpp"
+
+namespace volsched::markov {
+
+TransitionMatrix generate_matrix(util::Rng& rng, const ChainRecipe& recipe) {
+    std::array<std::array<double, 3>, 3> rows{};
+    for (int i = 0; i < kNumStates; ++i) {
+        const double self = rng.uniform(recipe.self_lo, recipe.self_hi);
+        const double other = 0.5 * (1.0 - self);
+        for (int j = 0; j < kNumStates; ++j)
+            rows[i][j] = (i == j) ? self : other;
+    }
+    return TransitionMatrix(rows);
+}
+
+MarkovChain generate_chain(util::Rng& rng, const ChainRecipe& recipe) {
+    return MarkovChain(generate_matrix(rng, recipe));
+}
+
+std::vector<MarkovChain> generate_chains(std::size_t count, util::Rng& rng,
+                                         const ChainRecipe& recipe) {
+    std::vector<MarkovChain> chains;
+    chains.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        chains.push_back(generate_chain(rng, recipe));
+    return chains;
+}
+
+} // namespace volsched::markov

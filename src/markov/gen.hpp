@@ -1,0 +1,31 @@
+#pragma once
+/// \file gen.hpp
+/// Random chain generation following the experimental recipe of Section 7:
+/// self-transition probabilities P(x,x) drawn uniformly in [0.90, 0.99] and
+/// the remaining mass split evenly, P(x,y) = 0.5 * (1 - P(x,x)) for y != x.
+
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "util/rng.hpp"
+
+namespace volsched::markov {
+
+/// Bounds for the self-transition draw; defaults are the paper's values.
+struct ChainRecipe {
+    double self_lo = 0.90;
+    double self_hi = 0.99;
+};
+
+/// Draws one transition matrix per the recipe.
+TransitionMatrix generate_matrix(util::Rng& rng,
+                                 const ChainRecipe& recipe = {});
+
+/// Draws a full chain (matrix + stationary distribution).
+MarkovChain generate_chain(util::Rng& rng, const ChainRecipe& recipe = {});
+
+/// Draws `count` independent chains, one per processor.
+std::vector<MarkovChain> generate_chains(std::size_t count, util::Rng& rng,
+                                         const ChainRecipe& recipe = {});
+
+} // namespace volsched::markov

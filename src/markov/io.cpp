@@ -1,0 +1,56 @@
+#include "markov/io.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace volsched::markov {
+
+void write_matrices(std::ostream& out,
+                    const std::vector<TransitionMatrix>& matrices) {
+    out << "# volsched transition matrices: 9 row-major probabilities per "
+           "line (u r d)\n";
+    out.precision(17);
+    for (const auto& m : matrices) {
+        for (int i = 0; i < kNumStates; ++i)
+            for (int j = 0; j < kNumStates; ++j) {
+                if (i || j) out << ' ';
+                out << m(static_cast<ProcState>(i), static_cast<ProcState>(j));
+            }
+        out << '\n';
+    }
+}
+
+std::vector<TransitionMatrix> read_matrices(std::istream& in) {
+    std::vector<TransitionMatrix> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream is(line);
+        std::array<std::array<double, 3>, 3> rows{};
+        for (int i = 0; i < kNumStates; ++i)
+            for (int j = 0; j < kNumStates; ++j)
+                if (!(is >> rows[i][j]))
+                    throw std::invalid_argument(
+                        "read_matrices: expected 9 probabilities per line");
+        double extra;
+        if (is >> extra)
+            throw std::invalid_argument(
+                "read_matrices: trailing values on matrix line");
+        TransitionMatrix m(rows);
+        if (auto err = m.validate(1e-9); !err.empty())
+            throw std::invalid_argument("read_matrices: " + err);
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<MarkovChain> read_chains(std::istream& in) {
+    std::vector<MarkovChain> chains;
+    for (const auto& m : read_matrices(in)) chains.emplace_back(m);
+    return chains;
+}
+
+} // namespace volsched::markov

@@ -1,0 +1,26 @@
+#pragma once
+/// \file io.hpp
+/// Plain-text (de)serialization of transition matrices and chains, so that
+/// experiment platforms can be frozen to disk and shared: one matrix per
+/// line, nine row-major probabilities separated by spaces; `#` comments.
+
+#include <iosfwd>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace volsched::markov {
+
+/// Writes one matrix per line (row-major, 17 significant digits so values
+/// round-trip exactly).
+void write_matrices(std::ostream& out,
+                    const std::vector<TransitionMatrix>& matrices);
+
+/// Parses matrices written by write_matrices.  Throws std::invalid_argument
+/// on malformed rows or non-stochastic matrices.
+std::vector<TransitionMatrix> read_matrices(std::istream& in);
+
+/// Convenience: chains (validated) from a matrix file.
+std::vector<MarkovChain> read_chains(std::istream& in);
+
+} // namespace volsched::markov

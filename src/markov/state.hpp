@@ -1,0 +1,50 @@
+#pragma once
+/// \file state.hpp
+/// The three processor availability states of the paper (Section 3.2).
+
+#include <cstdint>
+#include <string_view>
+
+namespace volsched::markov {
+
+/// Availability state of a volatile processor.
+///
+/// - `Up`: available for computation and communication ("u").
+/// - `Reclaimed`: temporarily preempted by its owner; ongoing work is
+///   suspended and later resumed without loss ("r").
+/// - `Down`: crashed; program, staged data and partial results are lost ("d").
+enum class ProcState : std::uint8_t { Up = 0, Reclaimed = 1, Down = 2 };
+
+inline constexpr int kNumStates = 3;
+
+/// Single-character code used in traces and debug output (u / r / d).
+constexpr char state_code(ProcState s) noexcept {
+    switch (s) {
+        case ProcState::Up: return 'u';
+        case ProcState::Reclaimed: return 'r';
+        case ProcState::Down: return 'd';
+    }
+    return '?';
+}
+
+/// Long name, for reports.
+constexpr std::string_view state_name(ProcState s) noexcept {
+    switch (s) {
+        case ProcState::Up: return "UP";
+        case ProcState::Reclaimed: return "RECLAIMED";
+        case ProcState::Down: return "DOWN";
+    }
+    return "?";
+}
+
+/// Parses a single-character code; returns Down for unknown input so that
+/// malformed traces fail safe (a DOWN slot can only delay, never corrupt).
+constexpr ProcState state_from_code(char c) noexcept {
+    switch (c) {
+        case 'u': return ProcState::Up;
+        case 'r': return ProcState::Reclaimed;
+        default: return ProcState::Down;
+    }
+}
+
+} // namespace volsched::markov

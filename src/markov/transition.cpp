@@ -1,0 +1,72 @@
+#include "markov/transition.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace volsched::markov {
+
+TransitionMatrix::TransitionMatrix() noexcept
+    : rows_{{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}} {}
+
+TransitionMatrix::TransitionMatrix(
+    const std::array<std::array<double, 3>, 3>& rows) noexcept
+    : rows_(rows) {}
+
+std::string TransitionMatrix::validate(double tol) const {
+    for (int i = 0; i < kNumStates; ++i) {
+        double sum = 0.0;
+        for (int j = 0; j < kNumStates; ++j) {
+            const double v = rows_[i][j];
+            if (!(v >= 0.0 && v <= 1.0) || std::isnan(v)) {
+                char buf[128];
+                std::snprintf(buf, sizeof buf,
+                              "entry (%d,%d) = %g outside [0,1]", i, j, v);
+                return buf;
+            }
+            sum += v;
+        }
+        if (std::fabs(sum - 1.0) > tol) {
+            char buf[128];
+            std::snprintf(buf, sizeof buf, "row %d sums to %.12g, expected 1",
+                          i, sum);
+            return buf;
+        }
+    }
+    return {};
+}
+
+TransitionMatrix TransitionMatrix::multiply(
+    const TransitionMatrix& other) const noexcept {
+    std::array<std::array<double, 3>, 3> out{};
+    for (int i = 0; i < kNumStates; ++i)
+        for (int k = 0; k < kNumStates; ++k) {
+            const double a = rows_[i][k];
+            if (a == 0.0) continue;
+            for (int j = 0; j < kNumStates; ++j)
+                out[i][j] += a * other.rows_[k][j];
+        }
+    return TransitionMatrix(out);
+}
+
+TransitionMatrix TransitionMatrix::power(unsigned k) const noexcept {
+    TransitionMatrix result; // identity
+    TransitionMatrix base = *this;
+    while (k > 0) {
+        if (k & 1u) result = result.multiply(base);
+        base = base.multiply(base);
+        k >>= 1u;
+    }
+    return result;
+}
+
+std::string TransitionMatrix::to_string() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "[u: %.4f %.4f %.4f | r: %.4f %.4f %.4f | d: %.4f %.4f %.4f]",
+                  rows_[0][0], rows_[0][1], rows_[0][2], rows_[1][0],
+                  rows_[1][1], rows_[1][2], rows_[2][0], rows_[2][1],
+                  rows_[2][2]);
+    return buf;
+}
+
+} // namespace volsched::markov

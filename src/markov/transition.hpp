@@ -1,0 +1,60 @@
+#pragma once
+/// \file transition.hpp
+/// 3x3 row-stochastic transition matrix over {UP, RECLAIMED, DOWN}.
+
+#include <array>
+#include <string>
+
+#include "markov/state.hpp"
+
+namespace volsched::markov {
+
+/// Row-stochastic transition matrix P, where `P(i, j)` is the probability of
+/// moving from state `i` at slot t to state `j` at slot t+1 (time-homogeneous,
+/// Section 5 of the paper).
+class TransitionMatrix {
+public:
+    /// Identity (processor frozen in its state) — mostly useful in tests.
+    TransitionMatrix() noexcept;
+
+    /// Builds from a row-major 3x3 array; `validate()` is NOT called so that
+    /// tests can construct deliberately broken matrices.
+    explicit TransitionMatrix(
+        const std::array<std::array<double, 3>, 3>& rows) noexcept;
+
+    [[nodiscard]] double operator()(ProcState from, ProcState to) const noexcept {
+        return rows_[static_cast<int>(from)][static_cast<int>(to)];
+    }
+    double& operator()(ProcState from, ProcState to) noexcept {
+        return rows_[static_cast<int>(from)][static_cast<int>(to)];
+    }
+
+    /// Convenience accessors matching the paper's P_{u,u}, P_{u,r}, ... names.
+    [[nodiscard]] double p_uu() const noexcept { return (*this)(ProcState::Up, ProcState::Up); }
+    [[nodiscard]] double p_ur() const noexcept { return (*this)(ProcState::Up, ProcState::Reclaimed); }
+    [[nodiscard]] double p_ud() const noexcept { return (*this)(ProcState::Up, ProcState::Down); }
+    [[nodiscard]] double p_ru() const noexcept { return (*this)(ProcState::Reclaimed, ProcState::Up); }
+    [[nodiscard]] double p_rr() const noexcept { return (*this)(ProcState::Reclaimed, ProcState::Reclaimed); }
+    [[nodiscard]] double p_rd() const noexcept { return (*this)(ProcState::Reclaimed, ProcState::Down); }
+    [[nodiscard]] double p_du() const noexcept { return (*this)(ProcState::Down, ProcState::Up); }
+    [[nodiscard]] double p_dr() const noexcept { return (*this)(ProcState::Down, ProcState::Reclaimed); }
+    [[nodiscard]] double p_dd() const noexcept { return (*this)(ProcState::Down, ProcState::Down); }
+
+    /// Checks that every entry is in [0,1] and each row sums to 1 within
+    /// `tol`. Returns an empty string when valid, else a diagnostic.
+    [[nodiscard]] std::string validate(double tol = 1e-9) const;
+
+    /// Matrix product (this * other), for k-step transition probabilities.
+    [[nodiscard]] TransitionMatrix multiply(const TransitionMatrix& other) const noexcept;
+
+    /// k-th matrix power by repeated squaring; power(0) is the identity.
+    [[nodiscard]] TransitionMatrix power(unsigned k) const noexcept;
+
+    /// Human-readable rendering for logs / error messages.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::array<std::array<double, 3>, 3> rows_;
+};
+
+} // namespace volsched::markov

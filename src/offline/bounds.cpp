@@ -1,0 +1,39 @@
+#include "offline/bounds.hpp"
+
+#include <algorithm>
+
+namespace volsched::offline {
+
+int communication_lower_bound(const OfflineInstance& inst) {
+    const auto& pf = inst.platform;
+    const long long transfer_work =
+        static_cast<long long>(pf.t_prog) +
+        static_cast<long long>(inst.num_tasks) * pf.t_data;
+    const long long transfer_slots =
+        (transfer_work + pf.ncom - 1) / pf.ncom;
+    int w_min = pf.w.empty() ? 1 : pf.w[0];
+    for (int w : pf.w) w_min = std::min(w_min, w);
+    return static_cast<int>(transfer_slots) + w_min;
+}
+
+int compute_lower_bound(const OfflineInstance& inst) {
+    const auto& pf = inst.platform;
+    const int p = inst.num_procs();
+    std::vector<long long> up(static_cast<std::size_t>(p), 0);
+    for (int t = 0; t < inst.horizon; ++t) {
+        long long capacity = 0;
+        for (int q = 0; q < p; ++q) {
+            if (inst.states[q][t] == markov::ProcState::Up) ++up[q];
+            capacity += up[q] / pf.w[q];
+        }
+        if (capacity >= inst.num_tasks) return t + 1;
+    }
+    return inst.horizon + 1;
+}
+
+int makespan_lower_bound(const OfflineInstance& inst) {
+    return std::max(communication_lower_bound(inst),
+                    compute_lower_bound(inst));
+}
+
+} // namespace volsched::offline

@@ -1,0 +1,30 @@
+#pragma once
+/// \file bounds.hpp
+/// Combinatorial lower bounds on the off-line makespan.  Used to prune the
+/// exact solver and as quick infeasibility certificates:
+///
+/// - communication bound: every task needs Tdata slots of data, and at
+///   least one program copy (Tprog) must be delivered, through at most
+///   ncom transfer slots per time slot; the last-delivered task still
+///   needs min_q w_q compute slots afterwards.
+///
+/// - compute-capacity bound: by slot T, processor q has had up_q(T) UP
+///   slots and can have completed at most floor(up_q(T) / w_q) tasks; all
+///   m tasks need sum_q floor(up_q(T) / w_q) >= m.  Trace-aware and
+///   ignores all communication, hence a valid relaxation.
+
+#include "offline/instance.hpp"
+
+namespace volsched::offline {
+
+/// The communication lower bound in slots (>= 1 for non-trivial instances).
+int communication_lower_bound(const OfflineInstance& inst);
+
+/// The compute-capacity lower bound in slots; horizon + 1 when even the
+/// full horizon lacks capacity for m tasks.
+int compute_lower_bound(const OfflineInstance& inst);
+
+/// max of the individual bounds.
+int makespan_lower_bound(const OfflineInstance& inst);
+
+} // namespace volsched::offline

@@ -1,0 +1,276 @@
+#include "offline/exact.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "offline/bounds.hpp"
+
+namespace volsched::offline {
+namespace {
+
+using markov::ProcState;
+
+struct PState {
+    std::int16_t prog_rem = 0;   // program slots still needed
+    std::int16_t staged = -1;    // staged task id
+    std::int16_t staged_rem = 0; // data slots still needed for staged task
+    std::int16_t comp = -1;      // computing task id
+    std::int16_t comp_rem = 0;   // compute slots still needed
+
+    void wipe(int t_prog) {
+        prog_rem = static_cast<std::int16_t>(t_prog);
+        staged = -1;
+        staged_rem = 0;
+        comp = -1;
+        comp_rem = 0;
+    }
+};
+
+struct State {
+    std::vector<PState> procs;
+    std::uint32_t done = 0;
+
+    [[nodiscard]] std::uint64_t hash(int t) const {
+        std::uint64_t h =
+            0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1);
+        auto mix = [&h](std::uint64_t v) {
+            v *= 0xbf58476d1ce4e5b9ULL;
+            v ^= v >> 29;
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(done);
+        for (const auto& p : procs) {
+            mix((static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.prog_rem)) << 48) |
+                (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.staged)) << 32) |
+                (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.staged_rem)) << 16) |
+                static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.comp)));
+            mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.comp_rem)));
+        }
+        return h;
+    }
+};
+
+class Solver {
+public:
+    Solver(const OfflineInstance& inst, long long node_cap)
+        : inst_(inst), cap_(node_cap) {}
+
+    ExactResult solve() {
+        lb_ = makespan_lower_bound(inst_);
+        if (lb_ > inst_.horizon) {
+            // The relaxations already rule the horizon out: proven
+            // infeasible without search.
+            ExactResult res;
+            res.feasible = false;
+            res.makespan = inst_.horizon + 1;
+            res.proven = true;
+            res.nodes = 0;
+            return res;
+        }
+        State init;
+        init.procs.assign(static_cast<std::size_t>(inst_.num_procs()),
+                          PState{});
+        for (auto& p : init.procs)
+            p.prog_rem = static_cast<std::int16_t>(inst_.platform.t_prog);
+        best_ = inst_.horizon + 1;
+        full_mask_ = (inst_.num_tasks >= 32)
+                         ? ~std::uint32_t{0}
+                         : ((std::uint32_t{1} << inst_.num_tasks) - 1);
+        dfs(0, init);
+        ExactResult res;
+        res.feasible = best_ <= inst_.horizon;
+        res.makespan = best_;
+        res.proven = !aborted_;
+        res.nodes = nodes_;
+        return res;
+    }
+
+private:
+    void dfs(int t, const State& s) {
+        if (s.done == full_mask_) {
+            if (t < best_) best_ = t;
+            if (best_ <= lb_) stop_ = true; // provably optimal already
+            return;
+        }
+        if (t + 1 >= best_ || t >= inst_.horizon || aborted_ || stop_) return;
+        if (++nodes_ > cap_) {
+            aborted_ = true;
+            return;
+        }
+        if (!visited_.insert(s.hash(t)).second) return;
+
+        const int p = inst_.num_procs();
+        State base = s;
+        for (int q = 0; q < p; ++q)
+            if (inst_.states[q][t] == ProcState::Down)
+                base.procs[q].wipe(inst_.platform.t_prog);
+
+        // Slot-start promotions: a task whose data (and the program)
+        // completed in earlier slots starts computing now, freeing the
+        // staged buffer for this very slot's transfers — exactly the
+        // boundary semantics of the paper's model.  Promoting greedily is
+        // never suboptimal: computation has no resource conflicts.
+        std::uint32_t claimed = 0;
+        for (int q = 0; q < p; ++q) {
+            PState& ps = base.procs[q];
+            if (inst_.states[q][t] != ProcState::Up) continue;
+            if (ps.comp != -1 || ps.prog_rem != 0) continue;
+            if (ps.staged != -1 && ps.staged_rem == 0) {
+                ps.comp = ps.staged;
+                ps.comp_rem = static_cast<std::int16_t>(inst_.platform.w[q]);
+                ps.staged = -1;
+            } else if (ps.staged == -1 && inst_.platform.t_data == 0) {
+                const int task = lowest_uncomputed(base, claimed);
+                if (task != -1) {
+                    claimed |= (std::uint32_t{1} << task);
+                    ps.comp = static_cast<std::int16_t>(task);
+                    ps.comp_rem =
+                        static_cast<std::int16_t>(inst_.platform.w[q]);
+                }
+            }
+        }
+
+        enumerate(t, base, 0, inst_.platform.ncom);
+    }
+
+    /// Chooses a transfer action for processor q, then recurses to q+1;
+    /// once every processor has an action, completes the slot.
+    void enumerate(int t, State s, int q, int budget) {
+        if (aborted_ || stop_) return;
+        if (q == inst_.num_procs()) {
+            finish_slot(t, std::move(s));
+            return;
+        }
+        const bool up = inst_.states[q][t] == ProcState::Up;
+
+        // Option: no transfer to q this slot.
+        enumerate(t, s, q + 1, budget);
+        if (!up || budget == 0) return;
+
+        const PState& ps = s.procs[q];
+        if (ps.prog_rem > 0) { // one program slot
+            State ns = s;
+            --ns.procs[q].prog_rem;
+            enumerate(t, std::move(ns), q + 1, budget - 1);
+        }
+        if (ps.staged != -1 && ps.staged_rem > 0) { // continue staged data
+            State ns = s;
+            --ns.procs[q].staged_rem;
+            enumerate(t, std::move(ns), q + 1, budget - 1);
+        }
+        // Fresh data transfer.  Identical task sizes make tasks
+        // interchangeable, so fresh transfers are canonicalized to the
+        // lowest-index undone task held nowhere, plus — to keep end-game
+        // duplicate staging available — the lowest-index undone task not
+        // already held by this processor.
+        if (ps.staged == -1 && inst_.platform.t_data > 0) {
+            const int fresh = lowest_unheld(s, -1);
+            const int dup = lowest_unheld(s, q);
+            start_fresh(t, s, q, budget, fresh);
+            if (dup != fresh) start_fresh(t, s, q, budget, dup);
+        }
+    }
+
+    void start_fresh(int t, const State& s, int q, int budget, int task) {
+        if (task == -1 || task == s.procs[q].comp) return;
+        State ns = s;
+        ns.procs[q].staged = static_cast<std::int16_t>(task);
+        ns.procs[q].staged_rem =
+            static_cast<std::int16_t>(inst_.platform.t_data - 1);
+        enumerate(t, std::move(ns), q + 1, budget - 1);
+    }
+
+    /// Lowest-index undone task that no processor holds (`except == -1`),
+    /// or that processor `except` itself does not hold (duplicates allowed
+    /// elsewhere).
+    [[nodiscard]] int lowest_unheld(const State& s, int except) const {
+        for (int task = 0; task < inst_.num_tasks; ++task) {
+            if (s.done & (std::uint32_t{1} << task)) continue;
+            bool held = false;
+            if (except >= 0) {
+                held = (s.procs[except].staged == task ||
+                        s.procs[except].comp == task);
+            } else {
+                for (const auto& ps : s.procs)
+                    if (ps.staged == task || ps.comp == task) {
+                        held = true;
+                        break;
+                    }
+            }
+            if (!held) return task;
+        }
+        return -1;
+    }
+
+    /// Deterministic computation phase: one compute slot for every UP
+    /// worker whose task was promoted at slot start.  Computing greedily is
+    /// never suboptimal — it has no resource conflicts and finishing
+    /// earlier only helps.
+    void finish_slot(int t, State s) {
+        for (int q = 0; q < inst_.num_procs(); ++q) {
+            if (inst_.states[q][t] != ProcState::Up) continue;
+            PState& ps = s.procs[q];
+            if (ps.comp != -1) {
+                --ps.comp_rem;
+                if (ps.comp_rem == 0) {
+                    s.done |= (std::uint32_t{1} << ps.comp);
+                    ps.comp = -1;
+                }
+            }
+        }
+        // A task completed by one worker may still be "computing" on another
+        // (duplicate); clear such copies so they do not recompute.
+        for (auto& ps : s.procs) {
+            if (ps.comp != -1 && (s.done & (std::uint32_t{1} << ps.comp))) {
+                ps.comp = -1;
+                ps.comp_rem = 0;
+            }
+            if (ps.staged != -1 && (s.done & (std::uint32_t{1} << ps.staged))) {
+                ps.staged = -1;
+                ps.staged_rem = 0;
+            }
+        }
+        dfs(t + 1, s);
+    }
+
+    [[nodiscard]] int lowest_uncomputed(const State& s,
+                                        std::uint32_t claimed) const {
+        for (int task = 0; task < inst_.num_tasks; ++task) {
+            const std::uint32_t bit = std::uint32_t{1} << task;
+            if ((s.done | claimed) & bit) continue;
+            bool computing = false;
+            for (const auto& ps : s.procs)
+                if (ps.comp == task) {
+                    computing = true;
+                    break;
+                }
+            if (!computing) return task;
+        }
+        return -1;
+    }
+
+    const OfflineInstance& inst_;
+    long long cap_;
+    long long nodes_ = 0;
+    int best_ = 0;
+    int lb_ = 0;
+    std::uint32_t full_mask_ = 0;
+    bool aborted_ = false;
+    bool stop_ = false;
+    std::unordered_set<std::uint64_t> visited_;
+};
+
+} // namespace
+
+ExactResult solve_exact(const OfflineInstance& inst, long long node_cap) {
+    if (auto err = inst.validate(); !err.empty())
+        throw std::invalid_argument("solve_exact: " + err);
+    if (inst.num_tasks > 20)
+        throw std::invalid_argument("solve_exact: too many tasks (max 20)");
+    Solver solver(inst, node_cap);
+    return solver.solve();
+}
+
+} // namespace volsched::offline

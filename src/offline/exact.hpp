@@ -1,0 +1,39 @@
+#pragma once
+/// \file exact.hpp
+/// Exhaustive branch-and-bound solver for small off-line instances, used to
+/// certify the Section 4 artifacts: the MCT non-optimality example and the
+/// satisfiable 3SAT gadgets.  The search enumerates, slot by slot, every
+/// allocation of the master's ncom transfer slots (program slots, data
+/// continuations, and fresh data transfers), with computation always
+/// progressing greedily — completing a started task earlier can never hurt,
+/// so this restriction preserves optimality.  Identical task sizes make
+/// tasks interchangeable; fresh data transfers are canonicalized to (a) the
+/// lowest-index task held nowhere, and (b) the lowest-index undone task
+/// (allowing deliberate duplicate copies near the end of the schedule).
+///
+/// Intended for p <= ~8 processors, m <= ~20 tasks, horizon <= ~40 slots.
+
+#include <cstdint>
+
+#include "offline/instance.hpp"
+
+namespace volsched::offline {
+
+struct ExactResult {
+    /// True when a schedule completing all tasks within the horizon exists.
+    bool feasible = false;
+    /// Minimum makespan found (slots); meaningful when `feasible`.
+    int makespan = 0;
+    /// True when the search space was exhausted (result is proven optimal
+    /// over the explored schedule class); false when the node cap was hit.
+    bool proven = false;
+    long long nodes = 0;
+};
+
+/// Solves `inst` to optimality (see file comment for the schedule class).
+/// `node_cap` bounds the search; when exceeded, `proven == false` and the
+/// best makespan found so far (if any) is returned.
+ExactResult solve_exact(const OfflineInstance& inst,
+                        long long node_cap = 20'000'000);
+
+} // namespace volsched::offline

@@ -1,0 +1,96 @@
+#include "offline/instance.hpp"
+
+#include <stdexcept>
+
+namespace volsched::offline {
+
+using markov::ProcState;
+
+std::string OfflineInstance::validate() const {
+    if (auto err = platform.validate(); !err.empty()) return err;
+    if (static_cast<int>(states.size()) != platform.size())
+        return "state vector count differs from processor count";
+    if (num_tasks <= 0) return "num_tasks must be positive";
+    if (horizon <= 0) return "horizon must be positive";
+    for (std::size_t q = 0; q < states.size(); ++q)
+        if (static_cast<int>(states[q].size()) != horizon)
+            return "state vector " + std::to_string(q) +
+                   " does not span the horizon";
+    return {};
+}
+
+OfflineInstance two_state_reduction(const OfflineInstance& in) {
+    OfflineInstance out;
+    out.platform.ncom = in.platform.ncom;
+    out.platform.t_prog = in.platform.t_prog;
+    out.platform.t_data = in.platform.t_data;
+    out.num_tasks = in.num_tasks;
+    out.horizon = in.horizon;
+
+    for (int q = 0; q < in.num_procs(); ++q) {
+        // Split the processor's timeline at every DOWN interval: each
+        // maximal DOWN-free segment becomes its own 2-state processor that
+        // is RECLAIMED outside the segment.  This is exactly the paper's
+        // construction (applied once per DOWN interval).
+        int seg_start = 0;
+        bool in_segment = true;
+        auto emit_segment = [&](int from, int to) { // [from, to)
+            std::vector<ProcState> row(static_cast<std::size_t>(in.horizon),
+                                       ProcState::Reclaimed);
+            bool any_up = false;
+            for (int t = from; t < to; ++t) {
+                row[t] = in.states[q][t];
+                any_up |= (in.states[q][t] == ProcState::Up);
+            }
+            if (to > from && any_up) {
+                out.states.push_back(std::move(row));
+                out.platform.w.push_back(in.platform.w[q]);
+            }
+        };
+        for (int t = 0; t < in.horizon; ++t) {
+            const bool down = (in.states[q][t] == ProcState::Down);
+            if (down && in_segment) {
+                emit_segment(seg_start, t);
+                in_segment = false;
+            } else if (!down && !in_segment) {
+                seg_start = t;
+                in_segment = true;
+            }
+        }
+        if (in_segment) emit_segment(seg_start, in.horizon);
+        if (out.platform.w.empty()) {
+            // Keep at least one (all-RECLAIMED) processor so the platform
+            // stays well-formed even if every processor is always DOWN.
+        }
+    }
+    if (out.platform.w.empty()) {
+        out.platform.w.push_back(in.platform.w.empty() ? 1 : in.platform.w[0]);
+        out.states.emplace_back(static_cast<std::size_t>(in.horizon),
+                                ProcState::Reclaimed);
+    }
+    return out;
+}
+
+std::vector<std::vector<ProcState>> states_from_strings(
+    const std::vector<std::string>& rows) {
+    std::vector<std::vector<ProcState>> out;
+    out.reserve(rows.size());
+    std::size_t len = rows.empty() ? 0 : rows[0].size();
+    for (const auto& row : rows) {
+        if (row.size() != len)
+            throw std::invalid_argument(
+                "states_from_strings: ragged state rows");
+        std::vector<ProcState> states;
+        states.reserve(row.size());
+        for (char c : row) {
+            if (c != 'u' && c != 'r' && c != 'd')
+                throw std::invalid_argument(
+                    "states_from_strings: unknown state code");
+            states.push_back(markov::state_from_code(c));
+        }
+        out.push_back(std::move(states));
+    }
+    return out;
+}
+
+} // namespace volsched::offline

@@ -1,0 +1,43 @@
+#pragma once
+/// \file instance.hpp
+/// The off-line problem of Section 4: processor availability is known in
+/// advance (explicit state vectors), and the goal is to complete one
+/// iteration of m tasks as early as possible.
+
+#include <vector>
+
+#include "markov/state.hpp"
+#include "sim/platform.hpp"
+
+namespace volsched::offline {
+
+/// A fully specified off-line instance.
+struct OfflineInstance {
+    sim::Platform platform;
+    /// states[q][t] for t in [0, horizon): the availability vector S_q.
+    std::vector<std::vector<markov::ProcState>> states;
+    /// Number of tasks in the iteration (m).
+    int num_tasks = 0;
+    /// Number of time slots (N).
+    int horizon = 0;
+
+    [[nodiscard]] int num_procs() const noexcept {
+        return static_cast<int>(states.size());
+    }
+
+    /// Empty string when consistent, else a diagnostic.
+    [[nodiscard]] std::string validate() const;
+};
+
+/// The DOWN-elimination rewrite of Section 4: each processor that crashes is
+/// split at every DOWN interval into 2-state (UP/RECLAIMED) processors with
+/// the same speed, preserving schedulability.  The result contains no DOWN
+/// state; the number of processors grows by at most one per DOWN interval.
+OfflineInstance two_state_reduction(const OfflineInstance& in);
+
+/// Convenience: builds availability vectors from strings of 'u'/'r'/'d'
+/// codes (one string per processor, all of the same length).
+std::vector<std::vector<markov::ProcState>> states_from_strings(
+    const std::vector<std::string>& rows);
+
+} // namespace volsched::offline

@@ -1,0 +1,135 @@
+#include "offline/mct.hpp"
+
+#include <algorithm>
+
+namespace volsched::offline {
+
+using markov::ProcState;
+
+std::vector<int> simulate_processor(const OfflineInstance& inst, int q,
+                                    const std::vector<int>& tasks,
+                                    std::vector<SlotAction>* out) {
+    const auto& pf = inst.platform;
+    const int horizon = inst.horizon;
+    std::vector<int> completion(tasks.size(),
+                                horizon + 1); // sentinel: not completed
+
+    if (out) out->assign(static_cast<std::size_t>(horizon), SlotAction{});
+
+    int prog_received = 0;
+    std::size_t next_data = 0;   // next task (index into `tasks`) to stage
+    std::size_t computing = tasks.size(); // index being computed, or size()
+    std::size_t staged = tasks.size();    // index staged, or size()
+    int staged_received = 0;
+    int compute_done = 0;
+    std::size_t done = 0;
+
+    for (int t = 0; t < horizon && done < tasks.size(); ++t) {
+        const ProcState st = inst.states[q][t];
+        if (st == ProcState::Down) {
+            // Crash: everything local is lost; completed tasks are safe.
+            prog_received = 0;
+            staged_received = 0;
+            compute_done = 0;
+            // The crashed copies must be resent: rewind staging to the
+            // first uncompleted task.
+            computing = tasks.size();
+            staged = tasks.size();
+            next_data = done;
+            continue;
+        }
+        if (st != ProcState::Up) continue; // RECLAIMED: suspended
+
+        // Slot-start promotion: a staged task whose data (and the program)
+        // completed in earlier slots starts computing now, freeing the
+        // staged buffer for this slot's communication.
+        if (computing == tasks.size() && prog_received == pf.t_prog) {
+            if (staged != tasks.size() && staged_received == pf.t_data) {
+                computing = staged;
+                staged = tasks.size();
+                staged_received = 0;
+                compute_done = 0;
+            } else if (pf.t_data == 0 && staged == tasks.size() &&
+                       next_data < tasks.size()) {
+                // Zero-cost data: staging and promotion are immediate.
+                computing = next_data++;
+                compute_done = 0;
+            }
+        }
+
+        SlotAction action;
+
+        // Communication decision (one incoming transfer per slot).
+        if (prog_received < pf.t_prog) {
+            action.recv = kRecvProg;
+            ++prog_received;
+        } else if (pf.t_data > 0) {
+            if (staged == tasks.size() && next_data < tasks.size()) {
+                staged = next_data++;
+                staged_received = 1;
+                action.recv = tasks[staged];
+            } else if (staged != tasks.size() &&
+                       staged_received < pf.t_data) {
+                ++staged_received;
+                action.recv = tasks[staged];
+            }
+        }
+
+        if (computing != tasks.size()) {
+            action.compute = tasks[computing];
+            ++compute_done;
+            if (compute_done == pf.w[q]) {
+                completion[computing] = t + 1;
+                ++done;
+                computing = tasks.size();
+                compute_done = 0;
+            }
+        }
+
+        if (out) (*out)[t] = action;
+    }
+    return completion;
+}
+
+MctResult mct_offline(const OfflineInstance& inst) {
+    MctResult res;
+    const int p = inst.num_procs();
+    res.assignment.assign(static_cast<std::size_t>(p), {});
+
+    for (int task = 0; task < inst.num_tasks; ++task) {
+        int best_q = -1;
+        int best_completion = inst.horizon + 2;
+        for (int q = 0; q < p; ++q) {
+            auto trial = res.assignment[q];
+            trial.push_back(task);
+            const auto completion =
+                simulate_processor(inst, q, trial, nullptr);
+            const int c = completion.back();
+            if (c < best_completion) {
+                best_completion = c;
+                best_q = q;
+            }
+        }
+        // Even if no processor can finish the task in time, assign it to the
+        // least-bad processor so the schedule is total.
+        res.assignment[best_q == -1 ? 0 : best_q].push_back(task);
+    }
+
+    res.schedule = Schedule::idle(inst);
+    res.makespan = 0;
+    res.feasible = true;
+    for (int q = 0; q < p; ++q) {
+        std::vector<SlotAction> actions;
+        const auto completion =
+            simulate_processor(inst, q, res.assignment[q], &actions);
+        res.schedule.actions[q] = std::move(actions);
+        for (int c : completion) {
+            if (c > inst.horizon) res.feasible = false;
+            res.makespan = std::max(res.makespan, c);
+        }
+    }
+    if (!res.feasible) res.makespan = inst.horizon + 1;
+    return res;
+}
+
+} // namespace volsched::offline

@@ -1,0 +1,42 @@
+#pragma once
+/// \file mct.hpp
+/// The off-line MCT (Minimum Completion Time) list scheduler of
+/// Proposition 2: program sent as early as possible, then each task is
+/// greedily given to the processor completing it soonest.  Optimal when
+/// ncom = +infinity (no master bandwidth contention); a heuristic otherwise
+/// (the paper's Section 4 counter-example shows non-optimality for finite
+/// ncom — reproduced in tests and bench_offline).
+
+#include <vector>
+
+#include "offline/schedule.hpp"
+
+namespace volsched::offline {
+
+struct MctResult {
+    /// tasks assigned to each processor, in execution order.
+    std::vector<std::vector<int>> assignment;
+    /// Slot count needed to complete all tasks; horizon+1 when infeasible.
+    int makespan = 0;
+    bool feasible = false;
+    /// Fully materialized schedule (validates against the instance with
+    /// ncom >= number of processors).
+    Schedule schedule;
+};
+
+/// Exact completion slots of `tasks` executed in order on processor q, with
+/// full knowledge of its availability vector.  Implements the worker
+/// pipeline (program, then per-task data/compute with one-task look-ahead)
+/// including crash-and-restart semantics on DOWN slots.  Optionally records
+/// the actions into `out` (pass nullptr to skip).  Returns the completion
+/// slot (1-based) of each task; tasks that do not complete get horizon+1.
+std::vector<int> simulate_processor(const OfflineInstance& inst, int q,
+                                    const std::vector<int>& tasks,
+                                    std::vector<SlotAction>* out);
+
+/// Runs the MCT list scheduler assuming no master bandwidth bound
+/// (ncom = +infinity).  The returned schedule uses at most one transfer per
+/// processor per slot, hence at most p concurrent transfers.
+MctResult mct_offline(const OfflineInstance& inst);
+
+} // namespace volsched::offline

@@ -1,0 +1,44 @@
+#include "offline/render.hpp"
+
+#include <sstream>
+
+namespace volsched::offline {
+
+std::string render_schedule(const OfflineInstance& inst,
+                            const Schedule& sched) {
+    std::ostringstream os;
+    os << "      ";
+    for (int t = 0; t < inst.horizon; ++t)
+        os << (t % 10 == 0 ? '|' : ' ');
+    os << '\n';
+    for (int q = 0; q < inst.num_procs() &&
+                    q < static_cast<int>(sched.actions.size());
+         ++q) {
+        os << 'P' << q << (q < 10 ? "    " : "   ");
+        for (int t = 0; t < inst.horizon &&
+                        t < static_cast<int>(sched.actions[q].size());
+             ++t) {
+            const auto st = inst.states[q][t];
+            char code = '.';
+            if (st == markov::ProcState::Down) {
+                code = 'd';
+            } else if (st == markov::ProcState::Reclaimed) {
+                code = 'r';
+            } else {
+                const SlotAction& a = sched.actions[q][t];
+                const bool compute = a.compute != -1;
+                const bool data = a.recv >= 0;
+                const bool prog = a.recv == kRecvProg;
+                if (compute && data) code = 'B';
+                else if (compute) code = 'C';
+                else if (data) code = 'D';
+                else if (prog) code = 'P';
+            }
+            os << code;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace volsched::offline

@@ -1,0 +1,22 @@
+#pragma once
+/// \file render.hpp
+/// ASCII rendering of off-line schedules against their instances — the
+/// static counterpart of sim::Timeline, with the same activity codes:
+///   'd' DOWN   'r' RECLAIMED   '.' UP and idle
+///   'P' receiving the program   'D' receiving task data
+///   'C' computing               'B' computing + receiving data
+
+#include <string>
+
+#include "offline/schedule.hpp"
+
+namespace volsched::offline {
+
+/// Renders the full horizon, one row per processor with a 10-slot ruler.
+/// The schedule is NOT validated here; render what was given (illegal
+/// actions still show up, which is exactly what you want when debugging a
+/// failed validation).
+std::string render_schedule(const OfflineInstance& inst,
+                            const Schedule& sched);
+
+} // namespace volsched::offline

@@ -1,0 +1,148 @@
+#include "offline/sat.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace volsched::offline {
+
+using markov::ProcState;
+
+bool Sat3::satisfied_by(const std::vector<bool>& assignment) const {
+    if (static_cast<int>(assignment.size()) != num_vars) return false;
+    for (const auto& clause : clauses) {
+        bool sat = false;
+        for (int lit : clause.lits) {
+            const int v = std::abs(lit) - 1;
+            if (lit > 0 ? assignment[v] : !assignment[v]) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+Sat3 figure1_instance() {
+    Sat3 sat;
+    sat.num_vars = 4;
+    sat.clauses = {
+        Clause{{-1, 3, 4}},  Clause{{1, -2, -3}}, Clause{{2, 3, -4}},
+        Clause{{1, 2, 4}},   Clause{{-1, -2, -4}}, Clause{{-2, 3, 4}},
+    };
+    return sat;
+}
+
+namespace {
+
+/// Processor of the positive literal of variable v (0-based): paper's
+/// P_{2i-1}; the negative literal's processor is pos + 1 (paper's P_{2i}).
+int pos_proc(int v) { return 2 * v; }
+
+/// True when literal `lit` appears in `clause`.
+bool lit_in_clause(const Clause& clause, int lit) {
+    for (int l : clause.lits)
+        if (l == lit) return true;
+    return false;
+}
+
+} // namespace
+
+OfflineInstance sat_to_offline(const Sat3& sat) {
+    if (sat.num_vars <= 0 || sat.clauses.empty())
+        throw std::invalid_argument("sat_to_offline: empty instance");
+    const int n = sat.num_vars;
+    const int m = static_cast<int>(sat.clauses.size());
+
+    OfflineInstance inst;
+    inst.num_tasks = m;
+    inst.horizon = m * (n + 1);
+    inst.platform.w.assign(static_cast<std::size_t>(2 * n), 1);
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = m;
+    inst.platform.t_data = 0;
+    inst.states.assign(static_cast<std::size_t>(2 * n),
+                       std::vector<ProcState>(
+                           static_cast<std::size_t>(inst.horizon),
+                           ProcState::Reclaimed));
+
+    for (int v = 0; v < n; ++v) {
+        // Clause slots 0..m-1: UP exactly where the literal occurs.
+        for (int j = 0; j < m; ++j) {
+            if (lit_in_clause(sat.clauses[j], v + 1))
+                inst.states[pos_proc(v)][j] = ProcState::Up;
+            if (lit_in_clause(sat.clauses[j], -(v + 1)))
+                inst.states[pos_proc(v) + 1][j] = ProcState::Up;
+        }
+        // Variable window v: slots m(v+1) .. m(v+2)-1, both processors UP.
+        const int start = m * (v + 1);
+        for (int j = 0; j < m; ++j) {
+            inst.states[pos_proc(v)][start + j] = ProcState::Up;
+            inst.states[pos_proc(v) + 1][start + j] = ProcState::Up;
+        }
+    }
+    return inst;
+}
+
+Schedule schedule_from_assignment(const Sat3& sat, const OfflineInstance& inst,
+                                  const std::vector<bool>& assignment) {
+    if (!sat.satisfied_by(assignment))
+        throw std::invalid_argument(
+            "schedule_from_assignment: assignment does not satisfy the "
+            "formula");
+    const int n = sat.num_vars;
+    const int m = static_cast<int>(sat.clauses.size());
+    Schedule sched = Schedule::idle(inst);
+
+    // Phase 1 (clause slots): for each clause pick one true literal; its
+    // processor downloads one program slot.
+    std::vector<int> early_prog(static_cast<std::size_t>(2 * n), 0);
+    for (int j = 0; j < m; ++j) {
+        int chosen = -1;
+        for (int lit : sat.clauses[j].lits) {
+            const int v = std::abs(lit) - 1;
+            const bool value = lit > 0;
+            if (assignment[v] == value) {
+                chosen = value ? pos_proc(v) : pos_proc(v) + 1;
+                break;
+            }
+        }
+        sched.actions[chosen][j].recv = kRecvProg;
+        ++early_prog[chosen];
+    }
+
+    // Phase 2 (variable windows): the assignment-matching processor p(i)
+    // finishes its program during the first m - L slots of its window, then
+    // computes L tasks (Tdata = 0, w = 1) in the remaining L slots.
+    int next_task = 0;
+    for (int v = 0; v < n; ++v) {
+        const int q = assignment[v] ? pos_proc(v) : pos_proc(v) + 1;
+        const int window = m * (v + 1);
+        const int early = early_prog[q];
+        for (int j = 0; j < m - early; ++j)
+            sched.actions[q][window + j].recv = kRecvProg;
+        for (int j = m - early; j < m; ++j) {
+            if (next_task >= m) break;
+            sched.actions[q][window + j].compute = next_task++;
+        }
+    }
+    return sched;
+}
+
+bool brute_force_sat(const Sat3& sat, std::vector<bool>* out) {
+    if (sat.num_vars > 24)
+        throw std::invalid_argument("brute_force_sat: too many variables");
+    const std::uint32_t limit = std::uint32_t{1} << sat.num_vars;
+    std::vector<bool> assignment(static_cast<std::size_t>(sat.num_vars));
+    for (std::uint32_t bits = 0; bits < limit; ++bits) {
+        for (int v = 0; v < sat.num_vars; ++v)
+            assignment[v] = (bits >> v) & 1u;
+        if (sat.satisfied_by(assignment)) {
+            if (out) *out = assignment;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace volsched::offline

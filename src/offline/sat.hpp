@@ -1,0 +1,54 @@
+#pragma once
+/// \file sat.hpp
+/// The 3SAT -> Off-Line reduction from the proof of Theorem 1, including
+/// the paper's Figure 1 example, a constructive schedule builder for
+/// satisfying assignments, and a brute-force SAT decision helper for the
+/// small instances used in tests.
+///
+/// Reduction recap: n variables and m clauses map to p = 2n processors
+/// (one per literal), ncom = 1, Tprog = m, Tdata = 0, w = 1, N = m(n+1).
+/// During "clause slots" 1..m, a literal's processor is UP exactly when the
+/// literal appears in the clause; during "variable window" i (slots
+/// mi+1..m(i+1)), both processors of variable i are UP and everyone else is
+/// RECLAIMED.  The formula is satisfiable iff all m tasks can complete by N.
+
+#include <array>
+#include <vector>
+
+#include "offline/schedule.hpp"
+
+namespace volsched::offline {
+
+/// One 3-literal clause; literals are +v / -v with v in [1, num_vars].
+struct Clause {
+    std::array<int, 3> lits{};
+};
+
+struct Sat3 {
+    int num_vars = 0;
+    std::vector<Clause> clauses;
+
+    [[nodiscard]] bool satisfied_by(const std::vector<bool>& assignment) const;
+};
+
+/// The instance of the paper's Figure 1:
+/// (~x1|x3|x4) & (x1|~x2|~x3) & (x2|x3|~x4) & (x1|x2|x4) & (~x1|~x2|~x4)
+/// & (~x2|x3|x4).
+Sat3 figure1_instance();
+
+/// Builds the Off-Line instance of the reduction.
+OfflineInstance sat_to_offline(const Sat3& sat);
+
+/// Constructs the schedule of the "satisfiable => schedulable" direction of
+/// the proof: during clause slot j the processor of a chosen true literal
+/// downloads one program slot; in variable window i the processor matching
+/// the assignment finishes the program and computes its share of tasks.
+/// Throws std::invalid_argument when `assignment` does not satisfy `sat`.
+Schedule schedule_from_assignment(const Sat3& sat, const OfflineInstance& inst,
+                                  const std::vector<bool>& assignment);
+
+/// Brute-force satisfiability check (num_vars <= 24); returns a satisfying
+/// assignment through `out` when satisfiable.
+bool brute_force_sat(const Sat3& sat, std::vector<bool>* out = nullptr);
+
+} // namespace volsched::offline

@@ -1,0 +1,158 @@
+#include "offline/schedule.hpp"
+
+namespace volsched::offline {
+
+using markov::ProcState;
+
+Schedule Schedule::idle(const OfflineInstance& inst) {
+    Schedule s;
+    s.actions.assign(static_cast<std::size_t>(inst.num_procs()),
+                     std::vector<SlotAction>(
+                         static_cast<std::size_t>(inst.horizon)));
+    return s;
+}
+
+namespace {
+
+struct ProcTracker {
+    int prog_received = 0;
+    int staged_task = -1;
+    int staged_received = 0;
+    int computing_task = -1;
+    int compute_done = 0;
+};
+
+std::string at(int q, int t, const std::string& msg) {
+    return "proc " + std::to_string(q) + ", slot " + std::to_string(t) + ": " +
+           msg;
+}
+
+} // namespace
+
+ValidationResult validate(const OfflineInstance& inst, const Schedule& sched) {
+    ValidationResult res;
+    if (auto err = inst.validate(); !err.empty()) {
+        res.error = "instance: " + err;
+        return res;
+    }
+    if (static_cast<int>(sched.actions.size()) != inst.num_procs()) {
+        res.error = "schedule: wrong processor count";
+        return res;
+    }
+    for (int q = 0; q < inst.num_procs(); ++q)
+        if (static_cast<int>(sched.actions[q].size()) != inst.horizon) {
+            res.error = "schedule: wrong horizon for proc " + std::to_string(q);
+            return res;
+        }
+
+    const int m = inst.num_tasks;
+    const auto& pf = inst.platform;
+    std::vector<ProcTracker> procs(static_cast<std::size_t>(inst.num_procs()));
+    std::vector<bool> done(static_cast<std::size_t>(m), false);
+    int done_count = 0;
+
+    auto fail = [&](int q, int t, const std::string& msg) {
+        res.error = at(q, t, msg);
+        return res;
+    };
+
+    for (int t = 0; t < inst.horizon; ++t) {
+        int transfers = 0;
+        for (int q = 0; q < inst.num_procs(); ++q) {
+            ProcTracker& pr = procs[q];
+            const ProcState st = inst.states[q][t];
+            if (st == ProcState::Down) {
+                // Crash semantics: lose everything held locally.
+                pr = ProcTracker{};
+            }
+            const SlotAction& a = sched.actions[q][t];
+            // Slot-start snapshot: computation in slot t may only rely on
+            // program/data bytes that arrived in slots strictly before t.
+            const int prog_before = pr.prog_received;
+            const int staged_task_before = pr.staged_task;
+            const int staged_before = pr.staged_received;
+            if (a.recv == kRecvNone && a.compute == -1) continue;
+            if (st != ProcState::Up)
+                return fail(q, t, "action on a non-UP processor");
+
+            if (a.recv != kRecvNone) {
+                ++transfers;
+                if (a.recv == kRecvProg) {
+                    if (pr.prog_received >= pf.t_prog)
+                        return fail(q, t, "program over-received");
+                    ++pr.prog_received;
+                } else {
+                    const int task = a.recv;
+                    if (task < 0 || task >= m)
+                        return fail(q, t, "data for unknown task");
+                    if (done[task])
+                        return fail(q, t, "data for an already-completed task");
+                    if (task == pr.computing_task)
+                        return fail(q, t, "data for the task being computed");
+                    if (pf.t_data == 0)
+                        return fail(q, t, "data transfer with t_data == 0");
+                    if (pr.staged_task != task) {
+                        // Staging a new task discards any previous staged
+                        // data (explicit abandonment is allowed).
+                        pr.staged_task = task;
+                        pr.staged_received = 0;
+                    }
+                    if (pr.staged_received >= pf.t_data)
+                        return fail(q, t, "task data over-received");
+                    ++pr.staged_received;
+                }
+            }
+
+            if (a.compute != -1) {
+                const int task = a.compute;
+                if (task < 0 || task >= m)
+                    return fail(q, t, "computing unknown task");
+                if (done[task])
+                    return fail(q, t, "computing an already-completed task");
+                // Strict timeline: the program (and, on promotion, the task
+                // data) must have been complete *before* this slot — bytes
+                // arriving during slot t cannot be computed on in slot t.
+                if (prog_before != pf.t_prog)
+                    return fail(q, t, "computing without the full program");
+                if (pr.computing_task != task) {
+                    if (pr.computing_task != -1)
+                        return fail(q, t,
+                                    "computing a second task before finishing "
+                                    "the first");
+                    const bool data_ok =
+                        pf.t_data == 0 || (staged_task_before == task &&
+                                           staged_before == pf.t_data);
+                    if (!data_ok)
+                        return fail(q, t, "computing without complete data");
+                    if (pr.staged_task == task) {
+                        pr.staged_task = -1;
+                        pr.staged_received = 0;
+                    }
+                    pr.computing_task = task;
+                    pr.compute_done = 0;
+                }
+                ++pr.compute_done;
+                if (pr.compute_done == pf.w[q]) {
+                    done[task] = true;
+                    ++done_count;
+                    pr.computing_task = -1;
+                    pr.compute_done = 0;
+                    if (done_count == m) res.makespan = t + 1;
+                }
+            }
+        }
+        if (transfers > pf.ncom) {
+            res.error = "slot " + std::to_string(t) +
+                        ": master bandwidth exceeded (" +
+                        std::to_string(transfers) + " > ncom)";
+            return res;
+        }
+    }
+
+    res.valid = true;
+    res.all_done = (done_count == m);
+    if (!res.all_done) res.makespan = 0;
+    return res;
+}
+
+} // namespace volsched::offline

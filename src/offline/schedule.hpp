@@ -1,0 +1,62 @@
+#pragma once
+/// \file schedule.hpp
+/// Off-line schedule representation and a polynomial-time validator that
+/// checks every rule of the execution model (this is the certificate
+/// checker that puts Off-Line in NP, cf. the proof of Theorem 1).
+
+#include <string>
+#include <vector>
+
+#include "offline/instance.hpp"
+
+namespace volsched::offline {
+
+/// What a processor receives during one slot.
+/// `kRecvNone`: nothing; `kRecvProg`: one slot of the program; otherwise the
+/// value is a task id (>= 0) and the processor receives one slot of that
+/// task's input data (or marks zero-cost data reception when t_data == 0).
+inline constexpr int kRecvNone = -1;
+inline constexpr int kRecvProg = -2;
+
+/// Per-processor per-slot actions.  Communication and computation may occur
+/// in the same slot on the same processor (compute/transfer overlap).
+struct SlotAction {
+    int recv = kRecvNone;
+    int compute = -1; ///< task id being computed this slot, or -1
+};
+
+struct Schedule {
+    /// actions[q][t]
+    std::vector<std::vector<SlotAction>> actions;
+
+    /// Constructs an all-idle schedule shaped like `inst`.
+    static Schedule idle(const OfflineInstance& inst);
+};
+
+/// Validation outcome.
+struct ValidationResult {
+    bool valid = false;
+    /// First violated rule, empty when valid.
+    std::string error;
+    /// 1 + index of the slot in which the last task completed (i.e. the
+    /// makespan in slots); only meaningful when `valid && all_done`.
+    int makespan = 0;
+    /// Whether all m tasks completed within the horizon.
+    bool all_done = false;
+};
+
+/// Replays `sched` against `inst`, enforcing:
+///  - actions only on UP processors;
+///  - at most ncom concurrent transfers per slot;
+///  - at most one incoming transfer per processor per slot;
+///  - program fully received (and not lost) before computing;
+///  - task data fully received at that processor before computing it;
+///  - a processor computes at most one task per slot and tasks one at a
+///    time (a started task must finish or be lost before the next starts);
+///  - data staged for at most one task beyond the one being computed;
+///  - DOWN wipes program, data and partial computation;
+///  - every task is completed at most once (replicas are an on-line coping
+///    mechanism; an off-line schedule never needs them).
+ValidationResult validate(const OfflineInstance& inst, const Schedule& sched);
+
+} // namespace volsched::offline

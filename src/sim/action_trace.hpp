@@ -1,0 +1,55 @@
+#pragma once
+/// \file action_trace.hpp
+/// Exact per-slot action recording: for every (processor, slot) the engine
+/// writes what was received (program / task data) and what was computed.
+/// The conventions match offline/schedule.hpp (`-2` program, `-1` none,
+/// task id otherwise), so a recorded on-line run can be replayed through
+/// the off-line validator — an end-to-end certification that the engine
+/// respects the execution model (used by the cross-check test suite).
+
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace volsched::sim {
+
+struct RecordedAction {
+    /// -2: one program slot; >= 0: one data slot of that task; -1: none.
+    int recv = -1;
+    /// Task id computed this slot, or -1.
+    int compute = -1;
+};
+
+class ActionTrace {
+public:
+    void begin(int procs) {
+        rows_.assign(static_cast<std::size_t>(procs), {});
+    }
+
+    /// Opens the next slot (one empty record per processor).
+    void next_slot() {
+        for (auto& row : rows_) row.emplace_back();
+    }
+
+    void set_recv(ProcId proc, int value) {
+        rows_[proc].back().recv = value;
+    }
+    void set_compute(ProcId proc, int task) {
+        rows_[proc].back().compute = task;
+    }
+
+    [[nodiscard]] int procs() const noexcept {
+        return static_cast<int>(rows_.size());
+    }
+    [[nodiscard]] long long slots() const noexcept {
+        return rows_.empty() ? 0 : static_cast<long long>(rows_[0].size());
+    }
+    [[nodiscard]] const std::vector<RecordedAction>& row(ProcId proc) const {
+        return rows_[proc];
+    }
+
+private:
+    std::vector<std::vector<RecordedAction>> rows_;
+};
+
+} // namespace volsched::sim

@@ -1,0 +1,890 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "markov/expectation.hpp"
+#include "util/rng.hpp"
+
+namespace volsched::sim {
+namespace {
+
+using markov::ProcState;
+
+enum class InstKind : std::uint8_t { Original, Replica };
+enum class InstStatus : std::uint8_t { Pool, Committed, Done, Cancelled };
+
+/// One copy of one logical task (original or replica).
+struct Instance {
+    int logical = -1;
+    InstKind kind = InstKind::Original;
+    InstStatus status = InstStatus::Pool;
+    ProcId proc = kNoProc;     ///< worker holding this instance (committed)
+    ProcId planned = kNoProc;  ///< sticky-plan target while still in pool
+    long long plan_seq = -1;   ///< order in which the plan chose this instance
+    int data_remaining = 0;
+    bool data_started = false;
+    bool data_done = false;
+    long long commit_slot = -1;
+};
+
+/// Runtime protocol state of one worker.
+struct Worker {
+    ProcState state = ProcState::Up;
+    bool has_program = false;
+    bool prog_in_flight = false;
+    int prog_remaining = 0;
+    long long prog_start = -1;
+    int staged = -1;    ///< instance index receiving / holding next-task data
+    long long data_start = -1;
+    int computing = -1; ///< instance index with complete data, being computed
+    int compute_remaining = 0;
+};
+
+/// Transfer descriptor used when ordering the slot's bandwidth allocation.
+struct ActiveTransfer {
+    long long start;
+    ProcId proc;
+    bool is_prog;
+};
+
+class Runner {
+public:
+    Runner(const Platform& platform,
+           const std::vector<std::unique_ptr<markov::AvailabilityModel>>& models,
+           const std::vector<markov::MarkovChain>& beliefs,
+           const EngineConfig& config, std::uint64_t seed)
+        : pf_(platform), config_(config) {
+        const int p = pf_.size();
+        workers_.resize(p);
+        models_.reserve(p);
+        proc_rng_.reserve(p);
+        for (int q = 0; q < p; ++q) {
+            models_.push_back(models[q]->clone());
+            proc_rng_.emplace_back(util::mix_seed(seed, 0x41564149ULL, q));
+        }
+        sched_rng_ = util::Rng(util::mix_seed(seed, 0x53434845ULL));
+        beliefs_ = beliefs.empty() ? nullptr : &beliefs;
+    }
+
+    RunMetrics run(Scheduler& sched) {
+        start_iteration();
+        metrics_.per_proc.assign(static_cast<std::size_t>(pf_.size()), {});
+        if (config_.timeline) config_.timeline->begin(pf_.size());
+        if (config_.actions) config_.actions->begin(pf_.size());
+        slot_flags_.assign(static_cast<std::size_t>(pf_.size()), 0);
+        for (long long t = 0; t < config_.max_slots; ++t) {
+            slot_ = t;
+            if (config_.actions) config_.actions->next_slot();
+            std::fill(slot_flags_.begin(), slot_flags_.end(),
+                      static_cast<std::uint8_t>(0));
+            advance_states(t);
+            int budget = pf_.ncom;
+            transfers_this_slot_ = 0;
+            advance_in_flight(budget);
+            start_pending_data(t, budget);
+            plan_and_commit(sched, t, budget);
+            advance_compute();
+            if (config_.audit) audit_bandwidth();
+            record_timeline();
+            const bool finished = end_of_slot(t);
+            if (config_.audit) audit_invariants();
+            if (finished) {
+                metrics_.completed = true;
+                metrics_.makespan = t + 1;
+                metrics_.iterations_completed = config_.iterations;
+                return metrics_;
+            }
+        }
+        metrics_.completed = false;
+        metrics_.makespan = config_.max_slots;
+        metrics_.iterations_completed = iterations_done_;
+        return metrics_;
+    }
+
+private:
+    // ---- iteration bookkeeping ---------------------------------------
+
+    void start_iteration() {
+        const int m = config_.tasks_per_iteration;
+        logical_done_.assign(m, false);
+        logical_live_.assign(m, 1);
+        remaining_logical_ = m;
+        instances_.clear();
+        instances_.reserve(static_cast<std::size_t>(m) * 2);
+        for (int i = 0; i < m; ++i) {
+            Instance inst;
+            inst.logical = i;
+            inst.kind = InstKind::Original;
+            inst.data_remaining = pf_.t_data;
+            instances_.push_back(inst);
+        }
+        plan_counter_ = 0;
+    }
+
+    // ---- slot phases --------------------------------------------------
+
+    void advance_states(long long t) {
+        for (int q = 0; q < pf_.size(); ++q) {
+            const ProcState prev = workers_[q].state;
+            const ProcState next =
+                (t == 0) ? models_[q]->initial_state(proc_rng_[q])
+                         : models_[q]->next_state(prev, proc_rng_[q]);
+            workers_[q].state = next;
+            if (next == ProcState::Up) ++metrics_.per_proc[q].up_slots;
+            if (t == 0 || next != prev)
+                emit(EventKind::StateChange, q, -1, false, next);
+            if (next == ProcState::Down &&
+                (t == 0 || prev != ProcState::Down)) {
+                ++metrics_.down_events;
+                ++metrics_.per_proc[q].down_events;
+                handle_down(q);
+            }
+        }
+    }
+
+    /// DOWN semantics (Section 3.2): lose the program, staged data, and
+    /// partial computation.  Original instances go back to the pool (to be
+    /// resent from scratch); replicas are simply cancelled.
+    void handle_down(ProcId q) {
+        Worker& w = workers_[q];
+        if (w.prog_in_flight) {
+            metrics_.wasted_transfer_slots += pf_.t_prog - w.prog_remaining;
+            w.prog_in_flight = false;
+            w.prog_remaining = 0;
+            w.prog_start = -1;
+        } else if (w.has_program) {
+            // A resident program lost to a crash must be resent in full.
+            metrics_.wasted_transfer_slots += pf_.t_prog;
+        }
+        w.has_program = false;
+        if (w.staged != -1) {
+            emit(EventKind::WorkLost, q, instances_[w.staged].logical,
+                 instances_[w.staged].kind == InstKind::Replica);
+            release_instance(w.staged, /*to_pool=*/true);
+        }
+        if (w.computing != -1) {
+            emit(EventKind::WorkLost, q, instances_[w.computing].logical,
+                 instances_[w.computing].kind == InstKind::Replica);
+            release_instance(w.computing, /*to_pool=*/true);
+        }
+        // Sticky plans targeting a crashed processor are invalidated.
+        if (config_.plan_class == SchedulerClass::Passive) {
+            for (auto& inst : instances_)
+                if (inst.status == InstStatus::Pool && inst.planned == q)
+                    inst.planned = kNoProc;
+        }
+    }
+
+    /// Detaches a committed instance from its worker, accounting for the
+    /// wasted work.  Originals return to the pool when `to_pool`; replicas
+    /// are always cancelled (the pool only ever holds originals).
+    void release_instance(int id, bool to_pool) {
+        Instance& inst = instances_[id];
+        const ProcId q = inst.proc;
+        Worker& w = workers_[q];
+        if (inst.data_started)
+            metrics_.wasted_transfer_slots += pf_.t_data - inst.data_remaining;
+        if (w.computing == id) {
+            metrics_.wasted_compute_slots += pf_.w[q] - w.compute_remaining;
+            w.computing = -1;
+            w.compute_remaining = 0;
+        }
+        if (w.staged == id) {
+            w.staged = -1;
+            w.data_start = -1;
+        }
+        inst.proc = kNoProc;
+        inst.planned = kNoProc;
+        inst.plan_seq = -1;
+        inst.commit_slot = -1;
+        inst.data_started = false;
+        inst.data_done = false;
+        inst.data_remaining = pf_.t_data;
+        if (to_pool && inst.kind == InstKind::Original) {
+            inst.status = InstStatus::Pool;
+        } else {
+            inst.status = InstStatus::Cancelled;
+            --logical_live_[inst.logical];
+        }
+    }
+
+    /// Phase 2a: advance in-flight transfers to UP workers, FIFO by start.
+    void advance_in_flight(int& budget) {
+        active_.clear();
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up) continue;
+            if (w.prog_in_flight && w.prog_remaining > 0)
+                active_.push_back({w.prog_start, q, true});
+            if (w.staged != -1) {
+                const Instance& inst = instances_[w.staged];
+                if (inst.data_started && inst.data_remaining > 0)
+                    active_.push_back({w.data_start, q, false});
+            }
+        }
+        std::sort(active_.begin(), active_.end(),
+                  [](const ActiveTransfer& a, const ActiveTransfer& b) {
+                      return a.start != b.start ? a.start < b.start
+                                                : a.proc < b.proc;
+                  });
+        for (const auto& tr : active_) {
+            if (budget == 0) break;
+            Worker& w = workers_[tr.proc];
+            if (tr.is_prog) {
+                --w.prog_remaining;
+                slot_flags_[tr.proc] |= kFlagProg;
+                record_recv(tr.proc, -2);
+            } else {
+                --instances_[w.staged].data_remaining;
+                slot_flags_[tr.proc] |= kFlagData;
+                record_recv(tr.proc, instances_[w.staged].logical);
+            }
+            ++metrics_.per_proc[tr.proc].transfer_slots;
+            ++metrics_.transfer_slots;
+            ++transfers_this_slot_;
+            --budget;
+        }
+    }
+
+    /// Phase 2b: start data transfers for committed instances that were
+    /// waiting behind their worker's program download (FIFO by commit time).
+    void start_pending_data(long long t, int& budget) {
+        pending_.clear();
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up || !w.has_program || w.staged == -1)
+                continue;
+            const Instance& inst = instances_[w.staged];
+            if (!inst.data_started && !inst.data_done)
+                pending_.push_back(q);
+        }
+        std::sort(pending_.begin(), pending_.end(),
+                  [this](ProcId a, ProcId b) {
+                      const auto& ia = instances_[workers_[a].staged];
+                      const auto& ib = instances_[workers_[b].staged];
+                      return ia.commit_slot != ib.commit_slot
+                                 ? ia.commit_slot < ib.commit_slot
+                                 : a < b;
+                  });
+        for (ProcId q : pending_) {
+            Worker& w = workers_[q];
+            Instance& inst = instances_[w.staged];
+            if (pf_.t_data == 0) { // zero-cost data: completes instantly
+                inst.data_started = true;
+                inst.data_done = true;
+                emit(EventKind::DataStart, q, inst.logical,
+                     inst.kind == InstKind::Replica);
+                continue;
+            }
+            if (budget == 0) break;
+            inst.data_started = true;
+            w.data_start = t;
+            --inst.data_remaining;
+            ++metrics_.per_proc[q].transfer_slots;
+            ++metrics_.transfer_slots;
+            ++transfers_this_slot_;
+            --budget;
+            slot_flags_[q] |= kFlagData;
+            record_recv(q, inst.logical);
+            emit(EventKind::DataStart, q, inst.logical,
+                 inst.kind == InstKind::Replica);
+        }
+    }
+
+    /// Phase 2c: a heuristic round (Section 6): assign pool originals one by
+    /// one, then replica candidates, then commit transfers in plan order
+    /// while bandwidth lasts.
+    void plan_and_commit(Scheduler& sched, long long t, int& budget) {
+        proactive_reassess();
+        if (budget == 0 && pf_.t_data > 0) return;
+
+        // Pool originals needing a (re-)plan.
+        pool_.clear();
+        for (int id = 0; id < static_cast<int>(instances_.size()); ++id) {
+            Instance& inst = instances_[id];
+            if (inst.status != InstStatus::Pool) continue;
+            if (config_.plan_class != SchedulerClass::Passive)
+                inst.planned = kNoProc;
+            pool_.push_back(id);
+        }
+
+        int up_count = 0;
+        for (const auto& w : workers_)
+            if (w.state == ProcState::Up) ++up_count;
+
+        const bool may_replicate =
+            config_.replica_cap > 0 && up_count > remaining_logical_;
+        const bool must_plan =
+            std::any_of(pool_.begin(), pool_.end(),
+                        [this](int id) {
+                            return instances_[id].planned == kNoProc;
+                        }) ||
+            may_replicate;
+        if (pool_.empty() && !may_replicate) return;
+        if (up_count == 0) return;
+
+        // Build the heuristic's snapshot.
+        views_.resize(static_cast<std::size_t>(pf_.size()));
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            ProcView& v = views_[q];
+            v.state = w.state;
+            v.has_program = w.has_program;
+            v.buffer_free = (w.staged == -1);
+            v.w = pf_.w[q];
+            v.delay = delay_of(q);
+            v.belief = beliefs_ ? &(*beliefs_)[q] : nullptr;
+        }
+        SchedView view;
+        view.platform = &pf_;
+        view.procs = views_;
+        view.slot = t;
+        view.nactive = 0;
+        view.remaining_tasks = static_cast<int>(pool_.size());
+
+        nq_.assign(static_cast<std::size_t>(pf_.size()), 0);
+        plan_order_.clear();
+        replica_plan_.clear();
+
+        if (must_plan) {
+            sched.begin_round(view);
+
+            eligible_.clear();
+            for (int q = 0; q < pf_.size(); ++q)
+                if (workers_[q].state == ProcState::Up) eligible_.push_back(q);
+
+            // 1. Original tasks, in logical order, one by one.  A processor
+            // already holding a live sibling of the task is excluded
+            // (running two copies of a task on one host is pure waste).
+            for (int id : pool_) {
+                Instance& inst = instances_[id];
+                if (inst.planned != kNoProc) continue; // sticky, already set
+                scratch_.clear();
+                for (ProcId q : eligible_)
+                    if (!holds_logical(q, inst.logical))
+                        scratch_.push_back(q);
+                if (scratch_.empty()) continue;
+                const ProcId q =
+                    sched.select(view, scratch_, nq_, sched_rng_);
+                inst.planned = q;
+                inst.plan_seq = plan_counter_++;
+                if (nq_[q]++ == 0) ++view.nactive;
+            }
+
+            // 2. Replica candidates (Section 6.1): only when UP processors
+            // outnumber remaining tasks; at most `replica_cap` extras per
+            // logical task; restricted to buffer-free processors so that a
+            // committed replica starts transferring immediately.
+            if (may_replicate) {
+                planned_logical_.assign(
+                    static_cast<std::size_t>(pf_.size()), -1);
+                for (int lt = 0; lt < config_.tasks_per_iteration; ++lt) {
+                    if (logical_done_[lt]) continue;
+                    int live = logical_live_[lt];
+                    while (live < 1 + config_.replica_cap) {
+                        scratch_.clear();
+                        for (ProcId q : eligible_) {
+                            if (!views_[q].buffer_free) continue;
+                            if (holds_logical(q, lt)) continue;
+                            if (planned_logical_[q] == lt) continue;
+                            if (plans_logical(q, lt)) continue;
+                            scratch_.push_back(q);
+                        }
+                        if (scratch_.empty()) break;
+                        const ProcId q =
+                            sched.select(view, scratch_, nq_, sched_rng_);
+                        replica_plan_.push_back({lt, q});
+                        planned_logical_[q] = lt;
+                        if (nq_[q]++ == 0) ++view.nactive;
+                        ++live;
+                    }
+                }
+            }
+        }
+
+        // 3. Commit transfers in plan order: originals first (by plan_seq),
+        // then replicas in planning order.
+        commit_order_.clear();
+        for (int id : pool_)
+            if (instances_[id].planned != kNoProc) commit_order_.push_back(id);
+        std::sort(commit_order_.begin(), commit_order_.end(),
+                  [this](int a, int b) {
+                      return instances_[a].plan_seq < instances_[b].plan_seq;
+                  });
+        for (int id : commit_order_) {
+            if (budget == 0 && pf_.t_data > 0 && pf_.t_prog > 0) break;
+            try_commit(id, instances_[id].planned, t, budget);
+        }
+        for (const auto& [lt, q] : replica_plan_) {
+            if (budget == 0 && pf_.t_data > 0 && pf_.t_prog > 0) break;
+            if (logical_done_[lt]) continue;
+            if (workers_[q].staged != -1) continue;
+            if (logical_live_[lt] >= 1 + config_.replica_cap) continue;
+            // Materialize the replica instance only on successful commit.
+            Instance inst;
+            inst.logical = lt;
+            inst.kind = InstKind::Replica;
+            inst.data_remaining = pf_.t_data;
+            inst.planned = q;
+            instances_.push_back(inst);
+            const int id = static_cast<int>(instances_.size()) - 1;
+            ++logical_live_[lt];
+            if (try_commit(id, q, t, budget)) {
+                ++metrics_.replicas_committed;
+                emit(EventKind::ReplicaCommitted, q, lt, true);
+            } else {
+                instances_.pop_back();
+                --logical_live_[lt];
+            }
+        }
+    }
+
+    /// SchedulerClass::Proactive: un-enrol a suspended worker when an idle
+    /// UP worker is expected (under the belief chains) to redo its whole
+    /// committed pipeline faster than the suspended worker can finish it.
+    /// Un-enrolment discards staged data and partial results (Section 3.3);
+    /// the program is kept (only DOWN loses it).
+    void proactive_reassess() {
+        if (config_.plan_class != SchedulerClass::Proactive || !beliefs_)
+            return;
+        // Best idle-alternative expected pipeline: program (if missing) +
+        // data + compute, inflated by expected RECLAIMED detours.
+        double best_alt = std::numeric_limits<double>::infinity();
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.staged != -1 ||
+                w.computing != -1)
+                continue;
+            const double need =
+                (w.has_program
+                     ? 0.0
+                     : static_cast<double>(w.prog_in_flight ? w.prog_remaining
+                                                            : pf_.t_prog)) +
+                pf_.t_data + pf_.w[q];
+            best_alt = std::min(
+                best_alt,
+                markov::e_workload((*beliefs_)[q].matrix(), need));
+        }
+        if (std::isinf(best_alt)) return;
+
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.state != ProcState::Reclaimed) continue;
+            if (w.staged == -1 && w.computing == -1) continue;
+            const auto& m = (*beliefs_)[q].matrix();
+            const double p_rr = m.p_rr();
+            if (p_rr >= 1.0) continue; // handled below as infinite wait
+            const double expected_return = 1.0 / (1.0 - p_rr);
+            int remaining = 0;
+            if (w.computing != -1) remaining += w.compute_remaining;
+            if (w.staged != -1)
+                remaining +=
+                    instances_[w.staged].data_remaining + pf_.w[q];
+            const double est_current =
+                expected_return + markov::e_workload(m, remaining);
+            if (best_alt >= est_current) continue;
+            if (w.staged != -1) {
+                emit(EventKind::ProactiveCancel, q,
+                     instances_[w.staged].logical,
+                     instances_[w.staged].kind == InstKind::Replica);
+                release_instance(w.staged, /*to_pool=*/true);
+            }
+            if (w.computing != -1) {
+                emit(EventKind::ProactiveCancel, q,
+                     instances_[w.computing].logical,
+                     instances_[w.computing].kind == InstKind::Replica);
+                release_instance(w.computing, /*to_pool=*/true);
+            }
+            ++metrics_.proactive_cancellations;
+        }
+    }
+
+    /// Tries to turn a planned assignment into committed work + a started
+    /// transfer.  Returns true when the instance got committed.
+    bool try_commit(int id, ProcId q, long long t, int& budget) {
+        Instance& inst = instances_[id];
+        Worker& w = workers_[q];
+        if (w.state != ProcState::Up || w.staged != -1) return false;
+        if (w.has_program) {
+            // Needs a data transfer right away.
+            if (pf_.t_data == 0) {
+                stage(inst, id, q, t);
+                inst.data_started = true;
+                inst.data_done = true;
+                emit(EventKind::DataStart, q, inst.logical,
+                     inst.kind == InstKind::Replica);
+                return true;
+            }
+            if (budget == 0) return false;
+            stage(inst, id, q, t);
+            inst.data_started = true;
+            w.data_start = t;
+            --inst.data_remaining;
+            ++metrics_.per_proc[q].transfer_slots;
+            ++metrics_.transfer_slots;
+            ++transfers_this_slot_;
+            --budget;
+            slot_flags_[q] |= kFlagData;
+            record_recv(q, inst.logical);
+            emit(EventKind::DataStart, q, inst.logical,
+                 inst.kind == InstKind::Replica);
+            return true;
+        }
+        if (!w.prog_in_flight) {
+            // Enrolment: the program download starts now; the task's data
+            // will follow once the program is complete.
+            if (pf_.t_prog == 0) {
+                w.has_program = true;
+                return try_commit(id, q, t, budget);
+            }
+            if (budget == 0) return false;
+            w.prog_in_flight = true;
+            w.prog_remaining = pf_.t_prog - 1; // this slot transfers already
+            w.prog_start = t;
+            ++metrics_.per_proc[q].transfer_slots;
+            ++metrics_.transfer_slots;
+            ++transfers_this_slot_;
+            --budget;
+            slot_flags_[q] |= kFlagProg;
+            record_recv(q, -2);
+            emit(EventKind::ProgStart, q, inst.logical,
+                 inst.kind == InstKind::Replica);
+            stage(inst, id, q, t);
+            return true;
+        }
+        // Program already in flight (started for a since-cancelled task):
+        // stage behind it at no bandwidth cost this slot.
+        stage(inst, id, q, t);
+        return true;
+    }
+
+    void stage(Instance& inst, int id, ProcId q, long long t) {
+        inst.status = InstStatus::Committed;
+        inst.proc = q;
+        inst.commit_slot = t;
+        workers_[q].staged = id;
+    }
+
+    void advance_compute() {
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.computing == -1) continue;
+            --w.compute_remaining;
+            ++metrics_.compute_slots;
+            ++metrics_.per_proc[q].compute_slots;
+            slot_flags_[q] |= kFlagCompute;
+            record_compute(q, instances_[w.computing].logical);
+        }
+    }
+
+    /// Writes each worker's activity code for the slot that just ran.
+    void record_timeline() {
+        if (!config_.timeline) return;
+        for (int q = 0; q < pf_.size(); ++q) {
+            const ProcState st = workers_[q].state;
+            char code = '.';
+            if (st == ProcState::Down) code = 'd';
+            else if (st == ProcState::Reclaimed) code = 'r';
+            else {
+                const std::uint8_t f = slot_flags_[q];
+                const bool compute = f & kFlagCompute;
+                const bool data = f & kFlagData;
+                const bool prog = f & kFlagProg;
+                if (compute && data) code = 'B';
+                else if (compute) code = 'C';
+                else if (data) code = 'D';
+                else if (prog) code = 'P';
+            }
+            config_.timeline->record(q, code);
+        }
+    }
+
+    /// Phase 4: completions, promotions, iteration boundary.  Returns true
+    /// when the final iteration finished during this slot.
+    bool end_of_slot(long long t) {
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.prog_in_flight && w.prog_remaining == 0) {
+                w.prog_in_flight = false;
+                w.has_program = true;
+                w.prog_start = -1;
+                emit(EventKind::ProgComplete, q);
+            }
+            if (w.staged != -1) {
+                Instance& inst = instances_[w.staged];
+                if (inst.data_started && inst.data_remaining == 0 &&
+                    !inst.data_done) {
+                    inst.data_done = true;
+                    emit(EventKind::DataComplete, q, inst.logical,
+                         inst.kind == InstKind::Replica);
+                }
+            }
+        }
+        // Task completions (may cancel siblings staged on other workers).
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.computing == -1 || w.compute_remaining > 0) continue;
+            complete_instance(w.computing);
+        }
+        // Promotions: a data-complete staged task starts computing next slot.
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.computing != -1 || w.staged == -1) continue;
+            Instance& inst = instances_[w.staged];
+            if (!inst.data_done) continue;
+            w.computing = w.staged;
+            w.staged = -1;
+            w.data_start = -1;
+            w.compute_remaining = pf_.w[q];
+            emit(EventKind::ComputeStart, q, instances_[w.computing].logical,
+                 instances_[w.computing].kind == InstKind::Replica);
+        }
+        if (remaining_logical_ == 0) {
+            emit(EventKind::IterationComplete, kNoProc);
+            ++iterations_done_;
+            metrics_.iteration_ends.push_back(t + 1);
+            if (iterations_done_ == config_.iterations) return true;
+            start_iteration();
+        }
+        return false;
+    }
+
+    void complete_instance(int id) {
+        Instance& inst = instances_[id];
+        Worker& w = workers_[inst.proc];
+        inst.status = InstStatus::Done;
+        w.computing = -1;
+        w.compute_remaining = 0;
+        logical_done_[inst.logical] = true;
+        --logical_live_[inst.logical];
+        --remaining_logical_;
+        ++metrics_.tasks_completed;
+        ++metrics_.per_proc[inst.proc].tasks_completed;
+        if (inst.kind == InstKind::Replica) ++metrics_.replica_wins;
+        emit(EventKind::TaskComplete, inst.proc, inst.logical,
+             inst.kind == InstKind::Replica);
+        // Cancel all live siblings: their data/compute is wasted.
+        for (int sid = 0; sid < static_cast<int>(instances_.size()); ++sid) {
+            if (sid == id) continue;
+            Instance& sib = instances_[sid];
+            if (sib.logical != inst.logical) continue;
+            if (sib.status == InstStatus::Pool) {
+                sib.status = InstStatus::Cancelled;
+                --logical_live_[sib.logical];
+            } else if (sib.status == InstStatus::Committed) {
+                emit(EventKind::ReplicaCancelled, sib.proc, sib.logical,
+                     sib.kind == InstKind::Replica);
+                release_instance(sid, /*to_pool=*/false);
+            }
+        }
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    static constexpr std::uint8_t kFlagProg = 1;
+    static constexpr std::uint8_t kFlagData = 2;
+    static constexpr std::uint8_t kFlagCompute = 4;
+
+    void record_recv(ProcId q, int value) {
+        if (config_.actions) config_.actions->set_recv(q, value);
+    }
+    void record_compute(ProcId q, int task) {
+        if (config_.actions) config_.actions->set_compute(q, task);
+    }
+
+    void emit(EventKind kind, ProcId proc, int logical = -1,
+              bool replica = false,
+              ProcState state = ProcState::Up) {
+        if (!config_.events) return;
+        Event e;
+        e.slot = slot_;
+        e.kind = kind;
+        e.proc = proc;
+        e.iteration = iterations_done_;
+        e.logical = logical;
+        e.replica = replica;
+        e.state = state;
+        config_.events->append(e);
+    }
+
+    /// Delay(q) of Section 6.3.1: remaining program + committed data +
+    /// committed compute, assuming the worker stays UP, contention-free.
+    [[nodiscard]] int delay_of(ProcId q) const {
+        const Worker& w = workers_[q];
+        int d = 0;
+        if (!w.has_program)
+            d += w.prog_in_flight ? w.prog_remaining : pf_.t_prog;
+        if (w.computing != -1) d += w.compute_remaining;
+        if (w.staged != -1)
+            d += instances_[w.staged].data_remaining + pf_.w[q];
+        return d;
+    }
+
+    [[nodiscard]] bool holds_logical(ProcId q, int logical) const {
+        const Worker& w = workers_[q];
+        if (w.staged != -1 && instances_[w.staged].logical == logical)
+            return true;
+        if (w.computing != -1 && instances_[w.computing].logical == logical)
+            return true;
+        return false;
+    }
+
+    /// True when some pool instance of `logical` is already planned on q.
+    [[nodiscard]] bool plans_logical(ProcId q, int logical) const {
+        for (int id : pool_) {
+            const Instance& inst = instances_[id];
+            if (inst.logical == logical && inst.planned == q) return true;
+        }
+        return false;
+    }
+
+    void audit_bandwidth() const {
+        if (transfers_this_slot_ > pf_.ncom)
+            throw std::logic_error("audit: bandwidth bound exceeded");
+    }
+
+    void audit_invariants() const {
+        int live_from_counts = 0;
+        for (int lt = 0; lt < config_.tasks_per_iteration; ++lt) {
+            if (logical_live_[lt] < 0)
+                throw std::logic_error("audit: negative live-instance count");
+            live_from_counts += logical_live_[lt];
+        }
+        int live_scan = 0;
+        for (const auto& inst : instances_)
+            if (inst.status == InstStatus::Pool ||
+                inst.status == InstStatus::Committed)
+                ++live_scan;
+        if (live_scan != live_from_counts)
+            throw std::logic_error("audit: live-instance count drift");
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.prog_in_flight && w.has_program)
+                throw std::logic_error("audit: program both held and in flight");
+            if (w.staged != -1) {
+                const Instance& inst = instances_[w.staged];
+                if (inst.status != InstStatus::Committed || inst.proc != q)
+                    throw std::logic_error("audit: staged link broken");
+                if (inst.data_remaining < 0 || inst.data_remaining > pf_.t_data)
+                    throw std::logic_error("audit: data counter out of range");
+            }
+            if (w.computing != -1) {
+                const Instance& inst = instances_[w.computing];
+                if (inst.status != InstStatus::Committed || inst.proc != q)
+                    throw std::logic_error("audit: computing link broken");
+                if (!inst.data_done)
+                    throw std::logic_error("audit: computing without data");
+                if (!w.has_program)
+                    throw std::logic_error("audit: computing without program");
+                if (w.compute_remaining < 0 || w.compute_remaining > pf_.w[q])
+                    throw std::logic_error("audit: compute counter out of range");
+                if (w.computing == w.staged)
+                    throw std::logic_error("audit: instance both staged and computing");
+            }
+        }
+    }
+
+    // ---- data ----------------------------------------------------------
+
+    const Platform& pf_;
+    EngineConfig config_;
+    std::vector<std::unique_ptr<markov::AvailabilityModel>> models_;
+    std::vector<util::Rng> proc_rng_;
+    util::Rng sched_rng_{0};
+    const std::vector<markov::MarkovChain>* beliefs_ = nullptr;
+
+    std::vector<Worker> workers_;
+    std::vector<Instance> instances_;
+    std::vector<bool> logical_done_;
+    std::vector<int> logical_live_; ///< live (pool+committed) copies per task
+    int remaining_logical_ = 0;
+    int iterations_done_ = 0;
+    long long plan_counter_ = 0;
+    int transfers_this_slot_ = 0;
+    long long slot_ = 0;
+    std::vector<std::uint8_t> slot_flags_;
+
+    RunMetrics metrics_;
+
+    // Scratch buffers reused across slots to avoid per-slot allocation.
+    std::vector<ActiveTransfer> active_;
+    std::vector<ProcId> pending_;
+    std::vector<int> pool_;
+    std::vector<ProcView> views_;
+    std::vector<int> nq_;
+    std::vector<ProcId> eligible_;
+    std::vector<ProcId> scratch_;
+    std::vector<int> commit_order_;
+    std::vector<std::pair<int, ProcId>> replica_plan_;
+    std::vector<int> planned_logical_;
+    std::vector<int> plan_order_;
+};
+
+} // namespace
+
+Simulation::Simulation(
+    Platform platform,
+    std::vector<std::unique_ptr<markov::AvailabilityModel>> models,
+    std::vector<markov::MarkovChain> beliefs, EngineConfig config,
+    std::uint64_t seed)
+    : platform_(std::move(platform)),
+      models_(std::move(models)),
+      beliefs_(std::move(beliefs)),
+      config_(config),
+      seed_(seed) {
+    if (auto err = platform_.validate(); !err.empty())
+        throw std::invalid_argument("Simulation: " + err);
+    if (static_cast<int>(models_.size()) != platform_.size())
+        throw std::invalid_argument(
+            "Simulation: one availability model per processor required");
+    if (!beliefs_.empty() &&
+        static_cast<int>(beliefs_.size()) != platform_.size())
+        throw std::invalid_argument(
+            "Simulation: beliefs must be empty or one per processor");
+    if (config_.iterations <= 0 || config_.tasks_per_iteration <= 0)
+        throw std::invalid_argument(
+            "Simulation: iterations and tasks per iteration must be positive");
+    if (config_.replica_cap < 0)
+        throw std::invalid_argument("Simulation: negative replica cap");
+}
+
+Simulation Simulation::from_chains(Platform platform,
+                                   const std::vector<markov::MarkovChain>& chains,
+                                   EngineConfig config, std::uint64_t seed) {
+    std::vector<std::unique_ptr<markov::AvailabilityModel>> models;
+    models.reserve(chains.size());
+    for (const auto& c : chains)
+        models.push_back(std::make_unique<markov::MarkovAvailability>(c));
+    return Simulation(std::move(platform), std::move(models), chains, config,
+                      seed);
+}
+
+RunMetrics Simulation::run(Scheduler& sched) const {
+    Runner runner(platform_, models_, beliefs_, config_, seed_);
+    return runner.run(sched);
+}
+
+RunMetrics Simulation::run_for_deadline(Scheduler& sched,
+                                        long long deadline_slots) const {
+    EngineConfig cfg = config_;
+    cfg.max_slots = deadline_slots;
+    // An unreachable iteration budget: the run always ends at the deadline
+    // and iterations_completed is the Section 3.4 objective value.
+    cfg.iterations = std::numeric_limits<int>::max();
+    Runner runner(platform_, models_, beliefs_, cfg, seed_);
+    return runner.run(sched);
+}
+
+long long Simulation::min_slots_for_iterations(Scheduler& sched,
+                                               int iterations) const {
+    EngineConfig cfg = config_;
+    cfg.iterations = iterations;
+    Runner runner(platform_, models_, beliefs_, cfg, seed_);
+    const auto metrics = runner.run(sched);
+    return metrics.completed ? metrics.makespan : -1;
+}
+
+} // namespace volsched::sim

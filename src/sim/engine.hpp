@@ -1,0 +1,129 @@
+#pragma once
+/// \file engine.hpp
+/// The time-slot simulation engine implementing the execution model of
+/// Section 3: master-worker iterative application, bounded multi-port
+/// master bandwidth, 3-state volatile workers, task replication.
+///
+/// Per-slot semantics (normative; see DESIGN.md §4):
+///  1. Worker states advance; newly DOWN workers lose program, staged data
+///     and partial computation (originals return to the master's pool,
+///     replicas are cancelled).
+///  2. The master allocates its `ncom` transfer slots: in-flight transfers
+///     to UP workers first (FIFO by start time), then data transfers that
+///     were committed but waited for the program, then — if assignable work
+///     remains and bandwidth is free — a fresh assignment round with the
+///     scheduling heuristic, committing new program/data transfers in
+///     heuristic preference order.
+///  3. UP workers holding a data-complete task advance its computation.
+///  4. End of slot: transfer/compute completions are materialized, staged
+///     tasks are promoted to computing, replicas of completed tasks are
+///     cancelled, and iteration boundaries are crossed.
+///
+/// Availability sampling uses RNG streams that are independent of the
+/// heuristic's stream, so for a fixed seed every heuristic faces the exact
+/// same availability realization — the property the paper's per-instance
+/// "degradation from best" metric relies on.
+
+#include <memory>
+#include <vector>
+
+#include "markov/availability.hpp"
+#include "markov/chain.hpp"
+#include "sim/action_trace.hpp"
+#include "sim/events.hpp"
+#include "sim/metrics.hpp"
+#include "sim/platform.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timeline.hpp"
+
+namespace volsched::sim {
+
+/// The scheduler-class taxonomy of Section 6.1.
+enum class SchedulerClass {
+    /// Un-started tasks are re-planned every round (the paper's class; all
+    /// evaluated heuristics are dynamic).
+    Dynamic,
+    /// A planned processor is kept until it crashes — the conservative
+    /// "passive" class.
+    Passive,
+    /// Dynamic, plus: suspended (RECLAIMED) workers holding committed work
+    /// may be aggressively un-enrolled when an idle UP worker is expected
+    /// to redo the work faster (requires belief chains; un-enrolment
+    /// discards data and partial results per Section 3.3).
+    Proactive,
+};
+
+/// Engine knobs; defaults match the paper's experiments.
+struct EngineConfig {
+    /// Number of iterations to complete (the paper uses 10).
+    int iterations = 10;
+    /// Tasks per iteration (the paper's m, called n in Section 7).
+    int tasks_per_iteration = 10;
+    /// Maximum number of *extra* replicas per logical task (paper: 2).
+    /// Zero disables replication.
+    int replica_cap = 2;
+    /// Hard horizon in slots; a run that does not finish by then reports
+    /// `completed == false` with `makespan == max_slots`.
+    long long max_slots = 10'000'000;
+    /// Scheduler class (Section 6.1); Dynamic is the paper's setting.
+    SchedulerClass plan_class = SchedulerClass::Dynamic;
+    /// When true, the engine cross-checks model invariants every slot and
+    /// throws std::logic_error on violation.  Used by the test suite.
+    bool audit = false;
+    /// Optional structured event log (not owned; may be null).
+    EventLog* events = nullptr;
+    /// Optional per-slot activity recorder (not owned; may be null).
+    Timeline* timeline = nullptr;
+    /// Optional exact action recorder (not owned; may be null); lets a run
+    /// be re-validated through the off-line model checker.
+    ActionTrace* actions = nullptr;
+};
+
+/// One reproducible simulation: a platform, one availability process per
+/// processor, optional per-processor belief chains for informed heuristics,
+/// and a seed.  `run()` may be called several times (optionally with
+/// different schedulers); each call replays the identical availability
+/// realization.
+class Simulation {
+public:
+    /// `models` must have one entry per processor.  `beliefs` must be empty
+    /// (uninformed run: ProcView::belief == nullptr) or size p.
+    Simulation(Platform platform,
+               std::vector<std::unique_ptr<markov::AvailabilityModel>> models,
+               std::vector<markov::MarkovChain> beliefs, EngineConfig config,
+               std::uint64_t seed);
+
+    /// Convenience: Markov availability from `chains`, with the same chains
+    /// used as the heuristics' beliefs (the paper's experimental setting).
+    static Simulation from_chains(Platform platform,
+                                  const std::vector<markov::MarkovChain>& chains,
+                                  EngineConfig config, std::uint64_t seed);
+
+    /// Runs one full simulation under `sched` and returns its metrics.
+    RunMetrics run(Scheduler& sched) const;
+
+    /// Section 3.4's primal objective: how many iterations complete within
+    /// `deadline_slots`?  Equivalent to a run with an unbounded iteration
+    /// budget and the horizon set to the deadline; the answer is
+    /// `iterations_completed` of the returned metrics.
+    RunMetrics run_for_deadline(Scheduler& sched,
+                                long long deadline_slots) const;
+
+    /// The dual objective (obtained in the paper via binary search over the
+    /// decision problem; the simulator measures it directly): the minimum
+    /// number of slots to finish `iterations` iterations, or -1 when the
+    /// configured horizon is hit first.
+    long long min_slots_for_iterations(Scheduler& sched, int iterations) const;
+
+    [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
+    [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+private:
+    Platform platform_;
+    std::vector<std::unique_ptr<markov::AvailabilityModel>> models_;
+    std::vector<markov::MarkovChain> beliefs_;
+    EngineConfig config_;
+    std::uint64_t seed_;
+};
+
+} // namespace volsched::sim

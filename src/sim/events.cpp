@@ -1,0 +1,42 @@
+#include "sim/events.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace volsched::sim {
+
+const char* event_kind_name(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::StateChange: return "state_change";
+        case EventKind::ProgStart: return "prog_start";
+        case EventKind::ProgComplete: return "prog_complete";
+        case EventKind::DataStart: return "data_start";
+        case EventKind::DataComplete: return "data_complete";
+        case EventKind::ComputeStart: return "compute_start";
+        case EventKind::TaskComplete: return "task_complete";
+        case EventKind::WorkLost: return "work_lost";
+        case EventKind::ReplicaCommitted: return "replica_committed";
+        case EventKind::ReplicaCancelled: return "replica_cancelled";
+        case EventKind::ProactiveCancel: return "proactive_cancel";
+        case EventKind::IterationComplete: return "iteration_complete";
+    }
+    return "?";
+}
+
+std::size_t EventLog::count(EventKind kind) const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const Event& e) { return e.kind == kind; }));
+}
+
+void EventLog::write_csv(std::ostream& out) const {
+    out << "slot,kind,proc,iteration,task,replica,state\n";
+    for (const Event& e : events_) {
+        out << e.slot << ',' << event_kind_name(e.kind) << ',' << e.proc
+            << ',' << e.iteration << ',' << e.logical << ','
+            << (e.replica ? 1 : 0) << ',' << markov::state_code(e.state)
+            << '\n';
+    }
+}
+
+} // namespace volsched::sim

@@ -1,0 +1,58 @@
+#pragma once
+/// \file metrics.hpp
+/// Per-run outcome and accounting counters produced by the engine.
+
+#include <vector>
+
+namespace volsched::sim {
+
+struct RunMetrics {
+    /// Slots used to finish all iterations; equals the horizon if the run
+    /// did not complete (`completed == false`).
+    long long makespan = 0;
+    /// True when every requested iteration finished within the horizon.
+    bool completed = false;
+    int iterations_completed = 0;
+
+    /// Logical tasks completed across all iterations.
+    long long tasks_completed = 0;
+    /// Committed replica instances (extra copies actually staged on workers).
+    long long replicas_committed = 0;
+    /// Logical tasks whose first finisher was a replica instance.
+    long long replica_wins = 0;
+
+    /// Total master transfer slot-units consumed (program + data).
+    long long transfer_slots = 0;
+    /// Transfer slot-units lost to crashes and replica cancellations.
+    long long wasted_transfer_slots = 0;
+    /// Compute slot-units performed by workers.
+    long long compute_slots = 0;
+    /// Compute slot-units lost to crashes and replica cancellations.
+    long long wasted_compute_slots = 0;
+
+    /// Number of UP/RECLAIMED -> DOWN transitions observed.
+    long long down_events = 0;
+
+    /// Workers un-enrolled by the proactive policy (SchedulerClass::
+    /// Proactive only; always zero for the paper's dynamic class).
+    long long proactive_cancellations = 0;
+
+    /// Slot (1-based count) at which each completed iteration finished;
+    /// size == iterations_completed.  Iteration k's duration is
+    /// iteration_ends[k] - iteration_ends[k-1] (with iteration_ends[-1]=0);
+    /// the first iteration carries the program-distribution cost, later
+    /// ones do not (Section 3.1).
+    std::vector<long long> iteration_ends;
+
+    /// Per-processor accounting (all indexed by processor id).
+    struct PerProc {
+        long long tasks_completed = 0; ///< instances finished here
+        long long compute_slots = 0;   ///< compute slot-units performed
+        long long transfer_slots = 0;  ///< transfer slot-units received
+        long long up_slots = 0;        ///< slots spent UP
+        long long down_events = 0;     ///< transitions into DOWN
+    };
+    std::vector<PerProc> per_proc;
+};
+
+} // namespace volsched::sim

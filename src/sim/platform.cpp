@@ -1,0 +1,27 @@
+#include "sim/platform.hpp"
+
+namespace volsched::sim {
+
+Platform Platform::homogeneous(int p, int w_all, int ncom, int t_prog,
+                               int t_data) {
+    Platform pf;
+    pf.w.assign(static_cast<std::size_t>(p), w_all);
+    pf.ncom = ncom;
+    pf.t_prog = t_prog;
+    pf.t_data = t_data;
+    return pf;
+}
+
+std::string Platform::validate() const {
+    if (w.empty()) return "platform has no processors";
+    for (std::size_t q = 0; q < w.size(); ++q)
+        if (w[q] <= 0)
+            return "processor " + std::to_string(q) +
+                   " has non-positive task cost";
+    if (ncom <= 0) return "ncom must be positive";
+    if (t_prog < 0) return "t_prog must be non-negative";
+    if (t_data < 0) return "t_data must be non-negative";
+    return {};
+}
+
+} // namespace volsched::sim

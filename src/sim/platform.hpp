@@ -1,0 +1,36 @@
+#pragma once
+/// \file platform.hpp
+/// The platform model of Section 3.2: p volatile processors with
+/// per-processor task cost w_q (UP slots per task), plus the bounded
+/// multi-port communication parameters (ncom concurrent transfers at fixed
+/// per-transfer bandwidth; program and data transfer times in slots).
+
+#include <string>
+#include <vector>
+
+namespace volsched::sim {
+
+using ProcId = int;
+inline constexpr ProcId kNoProc = -1;
+
+struct Platform {
+    /// w_q: number of UP slots processor q needs to compute one task.
+    std::vector<int> w;
+    /// Maximum number of simultaneous master transfers (BW / bw).
+    int ncom = 1;
+    /// Slots to transfer the application program (Vprog / bw).
+    int t_prog = 1;
+    /// Slots to transfer one task's input data (Vdata / bw).
+    int t_data = 1;
+
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(w.size()); }
+
+    /// All processors with the same task cost.
+    static Platform homogeneous(int p, int w_all, int ncom, int t_prog,
+                                int t_data);
+
+    /// Empty string when well-formed, else a diagnostic.
+    [[nodiscard]] std::string validate() const;
+};
+
+} // namespace volsched::sim

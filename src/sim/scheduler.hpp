@@ -1,0 +1,73 @@
+#pragma once
+/// \file scheduler.hpp
+/// The contract between the simulation engine and on-line scheduling
+/// heuristics.  Each slot where assignable work and spare master bandwidth
+/// exist, the engine runs one "round": it presents a snapshot of every
+/// processor and asks the heuristic, task instance by task instance, which
+/// UP processor the instance should go to — mirroring the one-by-one greedy
+/// assignment of Section 6.
+
+#include <span>
+#include <string_view>
+
+#include "markov/chain.hpp"
+#include "markov/state.hpp"
+#include "sim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace volsched::sim {
+
+/// Per-processor snapshot visible to heuristics.
+struct ProcView {
+    markov::ProcState state = markov::ProcState::Down;
+    /// Whether the processor holds a complete copy of the program.
+    bool has_program = false;
+    /// Whether it can accept a new staged task (buffer rule of Section 3.3:
+    /// at most one task beyond the one being computed).
+    bool buffer_free = true;
+    /// w_q, UP slots per task.
+    int w = 1;
+    /// Delay(q) of Section 6.3.1: estimated slots before the processor
+    /// finishes its committed program/data/compute work, assuming it stays
+    /// UP and communication is contention-free.
+    int delay = 0;
+    /// The availability chain this processor is believed to follow (the true
+    /// chain in Markov experiments, a fitted chain in trace replays).  Null
+    /// when the run is deliberately uninformed.
+    const markov::MarkovChain* belief = nullptr;
+};
+
+/// Snapshot of the whole round.
+struct SchedView {
+    const Platform* platform = nullptr;
+    std::span<const ProcView> procs;
+    long long slot = 0;
+    /// Number of distinct processors already assigned >= 1 instance in this
+    /// round (the `nactive` counter of the starred heuristics, Section 6.3.1).
+    int nactive = 0;
+    /// Original task instances still to assign in this round (m - m').
+    int remaining_tasks = 0;
+};
+
+/// On-line scheduling heuristic.  Implementations must be deterministic
+/// given the provided RNG (all randomness must come from `rng`).
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Called once at the start of each assignment round.
+    virtual void begin_round(const SchedView& view) { (void)view; }
+
+    /// Chooses a processor for the next task instance among `eligible`
+    /// (indices into view.procs, all in the UP state).  `nq[q]` is the
+    /// number of instances already assigned to processor q in this round.
+    /// Must return one of the eligible indices.
+    virtual ProcId select(const SchedView& view,
+                          std::span<const ProcId> eligible,
+                          std::span<const int> nq, util::Rng& rng) = 0;
+
+    /// Stable identifier used in reports ("emct*", "random2w", ...).
+    [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+} // namespace volsched::sim

@@ -1,0 +1,42 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace volsched::sim {
+
+void Timeline::begin(int procs) {
+    rows_.assign(static_cast<std::size_t>(procs), std::string{});
+}
+
+void Timeline::record(ProcId proc, char code) {
+    rows_[proc].push_back(code);
+}
+
+char Timeline::at(ProcId proc, long long slot) const noexcept {
+    if (proc < 0 || proc >= procs()) return '\0';
+    if (slot < 0 || slot >= static_cast<long long>(rows_[proc].size()))
+        return '\0';
+    return rows_[proc][static_cast<std::size_t>(slot)];
+}
+
+std::string Timeline::render(long long first, long long last) const {
+    std::ostringstream os;
+    const long long end =
+        (last < 0) ? slots() : std::min<long long>(last, slots());
+    const long long begin_slot = std::clamp<long long>(first, 0, end);
+    // Ruler: a tick every 10 slots.
+    os << "      ";
+    for (long long t = begin_slot; t < end; ++t)
+        os << (t % 10 == 0 ? '|' : ' ');
+    os << '\n';
+    for (int q = 0; q < procs(); ++q) {
+        os << 'P' << q << (q < 10 ? "    " : "   ");
+        os << rows_[q].substr(static_cast<std::size_t>(begin_slot),
+                              static_cast<std::size_t>(end - begin_slot));
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace volsched::sim

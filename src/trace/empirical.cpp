@@ -1,0 +1,59 @@
+#include "trace/empirical.hpp"
+
+#include <stdexcept>
+
+namespace volsched::trace {
+
+using markov::ProcState;
+
+TraceStats analyze(const RecordedTrace& trace) {
+    TraceStats st;
+    st.slots = trace.states.size();
+    if (st.slots == 0) return st;
+
+    std::array<std::size_t, 3> slot_count{};
+    std::array<std::size_t, 3> run_count{};
+    ProcState run_state = trace.states[0];
+    for (std::size_t t = 0; t < trace.states.size(); ++t) {
+        const ProcState s = trace.states[t];
+        ++slot_count[static_cast<int>(s)];
+        if (t == 0 || s != run_state) {
+            ++run_count[static_cast<int>(s)];
+            run_state = s;
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        st.occupancy[i] =
+            static_cast<double>(slot_count[i]) / static_cast<double>(st.slots);
+        st.intervals[i] = run_count[i];
+        st.mean_interval[i] =
+            run_count[i] ? static_cast<double>(slot_count[i]) /
+                               static_cast<double>(run_count[i])
+                         : 0.0;
+    }
+    return st;
+}
+
+markov::TransitionMatrix fit_markov(const std::vector<RecordedTrace>& traces,
+                                    double alpha) {
+    std::array<std::array<double, 3>, 3> counts{};
+    bool any = false;
+    for (const auto& tr : traces) {
+        for (std::size_t t = 0; t + 1 < tr.states.size(); ++t) {
+            counts[static_cast<int>(tr.states[t])]
+                  [static_cast<int>(tr.states[t + 1])] += 1.0;
+            any = true;
+        }
+    }
+    if (!any)
+        throw std::invalid_argument("fit_markov: no transitions in input");
+    std::array<std::array<double, 3>, 3> rows{};
+    for (int i = 0; i < 3; ++i) {
+        double total = 3.0 * alpha;
+        for (int j = 0; j < 3; ++j) total += counts[i][j];
+        for (int j = 0; j < 3; ++j) rows[i][j] = (counts[i][j] + alpha) / total;
+    }
+    return markov::TransitionMatrix(rows);
+}
+
+} // namespace volsched::trace

@@ -1,0 +1,31 @@
+#pragma once
+/// \file empirical.hpp
+/// Empirical statistics over recorded traces: state occupancy, interval
+/// lengths, and maximum-likelihood fitting of a 3-state Markov chain.  The
+/// fit is what a Markov-believing scheduler would estimate from history, and
+/// feeds the heuristics' "belief" chains in trace-replay experiments.
+
+#include <array>
+
+#include "markov/chain.hpp"
+#include "trace/replay.hpp"
+
+namespace volsched::trace {
+
+/// Occupancy fractions and per-state mean contiguous-interval lengths.
+struct TraceStats {
+    std::array<double, 3> occupancy{};      // fraction of slots per state
+    std::array<double, 3> mean_interval{};  // mean run length per state
+    std::array<std::size_t, 3> intervals{}; // number of runs per state
+    std::size_t slots = 0;
+};
+
+TraceStats analyze(const RecordedTrace& trace);
+
+/// Maximum-likelihood transition-count estimate of a Markov chain from one
+/// or more traces (transition counts pooled, Laplace smoothing `alpha` to
+/// avoid zero rows on short traces).  Throws on empty input.
+markov::TransitionMatrix fit_markov(const std::vector<RecordedTrace>& traces,
+                                    double alpha = 1e-6);
+
+} // namespace volsched::trace

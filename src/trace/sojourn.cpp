@@ -1,0 +1,59 @@
+#include "trace/sojourn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace volsched::trace {
+namespace {
+
+/// Standard normal via Box–Muller (one value per call; simple and fine for
+/// sojourn sampling rates).
+double standard_normal(volsched::util::Rng& rng) {
+    const double u1 = 1.0 - rng.uniform(); // (0, 1]
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+long long SojournDist::sample_slots(util::Rng& rng) const {
+    double x = 1.0;
+    switch (kind) {
+        case Kind::Weibull: {
+            const double u = 1.0 - rng.uniform(); // (0, 1]
+            x = scale * std::pow(-std::log(u), 1.0 / shape);
+            break;
+        }
+        case Kind::LogNormal: {
+            x = scale * std::exp(shape * standard_normal(rng));
+            break;
+        }
+    }
+    const auto slots = static_cast<long long>(std::ceil(x));
+    return slots < 1 ? 1 : slots;
+}
+
+double SojournDist::mean() const {
+    switch (kind) {
+        case Kind::Weibull:
+            return scale * std::tgamma(1.0 + 1.0 / shape);
+        case Kind::LogNormal:
+            return scale * std::exp(0.5 * shape * shape);
+    }
+    return scale;
+}
+
+SojournDist SojournDist::weibull_with_mean(double shape, double mean) {
+    if (shape <= 0.0 || mean <= 0.0)
+        throw std::invalid_argument("weibull_with_mean: bad parameters");
+    return {Kind::Weibull, shape, mean / std::tgamma(1.0 + 1.0 / shape)};
+}
+
+SojournDist SojournDist::lognormal_with_mean(double sigma, double mean) {
+    if (sigma <= 0.0 || mean <= 0.0)
+        throw std::invalid_argument("lognormal_with_mean: bad parameters");
+    return {Kind::LogNormal, sigma, mean * std::exp(-0.5 * sigma * sigma)};
+}
+
+} // namespace volsched::trace

@@ -1,0 +1,38 @@
+#pragma once
+/// \file sojourn.hpp
+/// Sojourn-duration distributions for semi-Markov availability processes.
+/// Empirical desktop-grid studies variously report Weibull and lognormal
+/// availability-interval distributions (refs [8,10] of the paper); both are
+/// provided behind one value type so experiments can swap them freely.
+
+#include "util/rng.hpp"
+
+namespace volsched::trace {
+
+/// A positive duration distribution, discretized to whole slots (>= 1).
+struct SojournDist {
+    enum class Kind { Weibull, LogNormal };
+
+    Kind kind = Kind::Weibull;
+    /// Weibull: shape k.  LogNormal: sigma (log-space standard deviation).
+    double shape = 1.0;
+    /// Weibull: scale lambda.  LogNormal: exp(mu) (the median).
+    double scale = 1.0;
+
+    /// Draws a duration in slots (at least 1).
+    [[nodiscard]] long long sample_slots(util::Rng& rng) const;
+
+    /// Continuous-distribution mean (before slot discretization).
+    [[nodiscard]] double mean() const;
+
+    [[nodiscard]] bool valid() const noexcept {
+        return shape > 0.0 && scale > 0.0;
+    }
+
+    /// Weibull with the given shape whose mean equals `mean`.
+    static SojournDist weibull_with_mean(double shape, double mean);
+    /// LogNormal with the given sigma whose mean equals `mean`.
+    static SojournDist lognormal_with_mean(double sigma, double mean);
+};
+
+} // namespace volsched::trace

@@ -1,0 +1,126 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace volsched::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_int(const std::string& name, long long def,
+                  const std::string& help) {
+    options_[name] = {Kind::Int, help, std::to_string(def), std::to_string(def)};
+}
+
+void Cli::add_double(const std::string& name, double def,
+                     const std::string& help) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", def);
+    options_[name] = {Kind::Double, help, buf, buf};
+}
+
+void Cli::add_string(const std::string& name, std::string def,
+                     const std::string& help) {
+    options_[name] = {Kind::String, help, def, def};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+    options_[name] = {Kind::Flag, help, "0", "0"};
+}
+
+Cli::Option& Cli::find(const std::string& name, Kind kind) {
+    auto it = options_.find(name);
+    if (it == options_.end())
+        throw std::logic_error("Cli: unknown option --" + name);
+    if (it->second.kind != kind)
+        throw std::logic_error("Cli: type mismatch for --" + name);
+    return it->second;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+    return const_cast<Cli*>(this)->find(name, kind);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(help().c_str(), stdout);
+            exit_code_ = 0;
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                         program_.c_str(), arg.c_str());
+            exit_code_ = 2;
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+            std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                         name.c_str());
+            exit_code_ = 2;
+            return false;
+        }
+        Option& opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            opt.value = has_value ? value : "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: option --%s requires a value\n",
+                             program_.c_str(), name.c_str());
+                exit_code_ = 2;
+                return false;
+            }
+            value = argv[++i];
+        }
+        opt.value = value;
+    }
+    return true;
+}
+
+long long Cli::get_int(const std::string& name) const {
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+    return find(name, Kind::String).value;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+    const auto& v = find(name, Kind::Flag).value;
+    return v == "1" || v == "true" || v == "yes";
+}
+
+std::string Cli::help() const {
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const auto& [name, opt] : options_) {
+        os << "  --" << name;
+        if (opt.kind != Kind::Flag) os << " <value>";
+        os << "\n      " << opt.help;
+        if (opt.kind != Kind::Flag) os << " (default: " << opt.def << ")";
+        os << '\n';
+    }
+    os << "  --help\n      show this message\n";
+    return os.str();
+}
+
+} // namespace volsched::util

@@ -1,0 +1,62 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line argument parser for the bench and example binaries.
+/// Supports `--name value`, `--name=value`, and boolean `--flag` options,
+/// with typed getters and automatic `--help` text generation.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace volsched::util {
+
+/// Declarative option set + parsed values.
+///
+/// Usage:
+///   Cli cli("bench_table2", "Reproduces Table 2");
+///   cli.add_int("trials", 10, "trials per scenario");
+///   cli.add_flag("full", "run the full paper-scale sweep");
+///   if (!cli.parse(argc, argv)) return cli.exit_code();
+///   int trials = cli.get_int("trials");
+class Cli {
+public:
+    Cli(std::string program, std::string description);
+
+    void add_int(const std::string& name, long long def, const std::string& help);
+    void add_double(const std::string& name, double def, const std::string& help);
+    void add_string(const std::string& name, std::string def, const std::string& help);
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Returns true when execution should continue; false for --help or a
+    /// parse error (exit_code() distinguishes the two).
+    bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] long long get_int(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] const std::string& get_string(const std::string& name) const;
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+
+    [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+    [[nodiscard]] std::string help() const;
+
+private:
+    enum class Kind { Int, Double, String, Flag };
+    struct Option {
+        Kind kind;
+        std::string help;
+        std::string value; // textual current value
+        std::string def;   // textual default (for help)
+    };
+
+    Option& find(const std::string& name, Kind kind);
+    const Option& find(const std::string& name, Kind kind) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    int exit_code_ = 0;
+};
+
+} // namespace volsched::util

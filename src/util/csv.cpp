@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace volsched::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+    if (header.empty())
+        throw std::invalid_argument("CsvWriter: empty header");
+    write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    if (cells.size() != arity_)
+        throw std::invalid_argument("CsvWriter: row arity mismatch");
+    write_row(cells);
+    ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view s) {
+    const bool needs_quote =
+        s.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quote) return std::string(s);
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string CsvWriter::cell(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+std::string CsvWriter::cell(std::size_t v) { return std::to_string(v); }
+std::string CsvWriter::cell(long long v) { return std::to_string(v); }
+
+} // namespace volsched::util

@@ -1,0 +1,38 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV writer with RFC-4180 quoting, used to dump experiment results
+/// for offline plotting.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace volsched::util {
+
+/// Streams rows to an std::ostream as CSV.  The header is written on
+/// construction; each row must have exactly as many cells as the header.
+class CsvWriter {
+public:
+    CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+    /// Writes one row. Throws std::invalid_argument on arity mismatch.
+    void row(const std::vector<std::string>& cells);
+
+    /// Convenience: formats doubles with enough digits to round-trip.
+    static std::string cell(double v);
+    static std::string cell(std::size_t v);
+    static std::string cell(long long v);
+
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    static std::string escape(std::string_view s);
+    void write_row(const std::vector<std::string>& cells);
+
+    std::ostream& out_;
+    std::size_t arity_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace volsched::util

@@ -1,0 +1,50 @@
+#pragma once
+/// \file log.hpp
+/// Leveled stderr logging with a global threshold.  The simulator itself
+/// never logs on the hot path; logging is for harness progress reporting.
+
+#include <sstream>
+#include <string>
+
+namespace volsched::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets / gets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line "[LEVEL] message" to stderr if level passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+} // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+    if (log_level() <= LogLevel::Debug)
+        log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    if (log_level() <= LogLevel::Info)
+        log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    if (log_level() <= LogLevel::Warn)
+        log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    if (log_level() <= LogLevel::Error)
+        log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace volsched::util

@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+namespace volsched::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                       std::uint64_t d) noexcept {
+    SplitMix64 sm(a);
+    std::uint64_t h = sm.next();
+    h ^= SplitMix64(b ^ h).next();
+    h ^= SplitMix64(c ^ rotl(h, 17)).next();
+    h ^= SplitMix64(d ^ rotl(h, 31)).next();
+    return h;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+    // All-zero state is invalid for xoshiro; SplitMix64 cannot emit four
+    // consecutive zeros, but guard anyway for defensive robustness.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (lo >= hi) return lo;
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)(); // full 64-bit range
+    // Lemire's multiply-then-reject method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < range) {
+        const std::uint64_t t = (0 - range) % range;
+        while (l < t) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * range;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) noexcept {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (weights[i] > 0.0) total += weights[i];
+    if (total <= 0.0) return n;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (weights[i] <= 0.0) continue;
+        r -= weights[i];
+        if (r < 0.0) return i;
+    }
+    // Floating-point slack: fall back to the last positive-weight index.
+    for (std::size_t i = n; i-- > 0;)
+        if (weights[i] > 0.0) return i;
+    return n;
+}
+
+void Rng::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (jump & (1ULL << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (void)(*this)();
+        }
+    }
+    s_ = {s0, s1, s2, s3};
+}
+
+} // namespace volsched::util

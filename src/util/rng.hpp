@@ -1,0 +1,88 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, platform-independent random number generation.
+///
+/// We deliberately avoid `std::mt19937` + `std::uniform_*_distribution`
+/// because the distribution algorithms are implementation-defined, which
+/// would make experiment results differ across standard libraries.  Instead
+/// we ship xoshiro256** (Blackman & Vigna) seeded via SplitMix64, plus our
+/// own uniform/int/real mapping helpers, so a given master seed produces the
+/// same availability traces and scenarios everywhere.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace volsched::util {
+
+/// SplitMix64: tiny generator used for seeding and for hashing seed tuples
+/// into independent streams.  Passes BigCrush when used as a generator.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Hash an arbitrary tuple of 64-bit values into a single well-mixed seed.
+/// Used to derive independent per-(scenario, trial) streams from one master
+/// seed so sweeps are reproducible and embarrassingly parallel.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b = 0x6a09e667f3bcc909ULL,
+                       std::uint64_t c = 0xbb67ae8584caa73bULL,
+                       std::uint64_t d = 0x3c6ef372fe94f82bULL) noexcept;
+
+/// xoshiro256**: fast, high-quality 256-bit-state PRNG.
+/// Reference implementation by David Blackman and Sebastiano Vigna (public
+/// domain), adapted to a C++ class with value semantics.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words from SplitMix64(seed), as recommended by
+    /// the xoshiro authors.
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Next raw 64-bit output.
+    result_type operator()() noexcept;
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    /// Uses Lemire-style rejection to avoid modulo bias.
+    std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+    /// Bernoulli draw with success probability p (clamped to [0,1]).
+    bool bernoulli(double p) noexcept;
+
+    /// Samples an index in [0, n) proportionally to the given non-negative
+    /// weights (n = weights.size()); returns n if all weights are zero.
+    /// Declared here, defined in rng.cpp to keep <vector> out of the hot path
+    /// headers.
+    std::size_t weighted_index(const double* weights, std::size_t n) noexcept;
+
+    /// Jump function: advances the stream by 2^128 steps, for splitting one
+    /// stream into non-overlapping substreams.
+    void jump() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+};
+
+} // namespace volsched::util

@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace volsched::util {
+
+void Accumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::sem() const noexcept {
+    if (n_ < 2) return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    if (sorted.size() == 1) return sorted[0];
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+    Summary s;
+    if (xs.empty()) return s;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    Accumulator acc;
+    for (double x : sorted) acc.add(x);
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p25 = percentile_sorted(sorted, 0.25);
+    s.median = percentile_sorted(sorted, 0.50);
+    s.p75 = percentile_sorted(sorted, 0.75);
+    s.p95 = percentile_sorted(sorted, 0.95);
+    return s;
+}
+
+double ci95_halfwidth(const Accumulator& acc) { return 1.96 * acc.sem(); }
+
+} // namespace volsched::util

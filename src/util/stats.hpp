@@ -1,0 +1,65 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch statistics used by the experiment harness: Welford
+/// accumulators (numerically stable single-pass mean/variance), summaries
+/// with percentiles, and confidence intervals.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace volsched::util {
+
+/// Single-pass, numerically stable accumulator for mean / variance / extrema
+/// (Welford's algorithm).  Cheap enough to keep one per heuristic per cell.
+class Accumulator {
+public:
+    void add(double x) noexcept;
+    /// Merge another accumulator into this one (parallel reduction support;
+    /// Chan et al. pairwise update).
+    void merge(const Accumulator& other) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance (0 when fewer than two samples).
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Standard error of the mean.
+    [[nodiscard]] double sem() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Batch summary of a sample: order statistics computed on a sorted copy.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+};
+
+/// Computes the summary of a sample. Empty input yields an all-zero summary.
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolation percentile of a *sorted* sample, q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Half-width of the normal-approximation 95% confidence interval on the
+/// mean (1.96 * sem). Returns 0 for fewer than 2 samples.
+double ci95_halfwidth(const Accumulator& acc);
+
+} // namespace volsched::util

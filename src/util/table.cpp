@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace volsched::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), right_(header_.size(), false) {
+    if (header_.empty())
+        throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("TextTable: row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::align_right(std::size_t col) {
+    if (col >= right_.size())
+        throw std::out_of_range("TextTable: column out of range");
+    right_[col] = true;
+}
+
+std::string TextTable::num(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+std::string TextTable::render(const std::string& title) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << "  ";
+            const auto pad = width[c] - row[c].size();
+            if (right_[c]) os << std::string(pad, ' ') << row[c];
+            else os << row[c] << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    if (!title.empty()) os << title << '\n';
+    emit_row(os, header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(os, row);
+    return os.str();
+}
+
+} // namespace volsched::util

@@ -1,0 +1,34 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width ASCII table rendering, used by the bench harnesses to print
+/// paper-style tables (Table 2, Table 3, Figure 2 series).
+
+#include <string>
+#include <vector>
+
+namespace volsched::util {
+
+/// Accumulates rows of string cells and renders them with column-fitted
+/// widths, a header rule, and optional right-alignment for numeric columns.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Marks a column (0-based) as right-aligned (numeric convention).
+    void align_right(std::size_t col);
+
+    /// Renders the whole table, including a title line if non-empty.
+    [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+    /// Formats a double with fixed decimals — helper for callers.
+    static std::string num(double v, int decimals = 2);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> right_;
+};
+
+} // namespace volsched::util

@@ -1,0 +1,56 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Work-queue thread pool used to parallelize simulation sweeps across
+/// (scenario, trial) instances.  Instances are independent by construction
+/// (per-instance derived RNG seeds), so the sweep is embarrassingly parallel.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace volsched::util {
+
+/// Fixed-size pool with a single shared FIFO queue.
+///
+/// Exceptions thrown by tasks are caught and re-thrown (first one wins) from
+/// wait_idle(), so a failing simulation aborts the sweep deterministically
+/// rather than silently dropping results.
+class ThreadPool {
+public:
+    /// `threads == 0` selects hardware_concurrency() (min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a task.  Must not be called after shutdown started.
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue drains and all workers are idle, then rethrows
+    /// the first task exception if any occurred.
+    void wait_idle();
+
+    /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t active_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace volsched::util

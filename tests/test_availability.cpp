@@ -1,0 +1,77 @@
+#include "markov/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "markov/gen.hpp"
+#include "util/rng.hpp"
+
+namespace vm = volsched::markov;
+using vm::ProcState;
+
+TEST(MarkovAvailability, AlwaysUpInitialState) {
+    volsched::util::Rng gen(1);
+    vm::MarkovAvailability model(vm::generate_chain(gen),
+                                 vm::InitialState::AlwaysUp);
+    volsched::util::Rng rng(2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(model.initial_state(rng), ProcState::Up);
+}
+
+TEST(MarkovAvailability, StationaryInitialStateFrequencies) {
+    volsched::util::Rng gen(3);
+    const auto chain = vm::generate_chain(gen);
+    vm::MarkovAvailability model(chain, vm::InitialState::Stationary);
+    volsched::util::Rng rng(4);
+    std::array<int, 3> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<int>(model.initial_state(rng))];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), chain.stationary().pi_u,
+                0.01);
+}
+
+TEST(MarkovAvailability, NextStateUsesChain) {
+    volsched::util::Rng gen(5);
+    const auto chain = vm::generate_chain(gen);
+    vm::MarkovAvailability model(chain);
+    volsched::util::Rng rng(6);
+    std::array<int, 3> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<int>(model.next_state(ProcState::Reclaimed, rng))];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), chain.matrix().p_ru(), 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), chain.matrix().p_rr(), 0.01);
+}
+
+TEST(MarkovAvailability, CloneIsIndependentButIdenticallyDistributed) {
+    volsched::util::Rng gen(7);
+    vm::MarkovAvailability model(vm::generate_chain(gen));
+    const auto clone = model.clone();
+    // Identical RNG stream => identical sampled sequence.
+    volsched::util::Rng r1(42), r2(42);
+    ProcState a = ProcState::Up, b = ProcState::Up;
+    for (int i = 0; i < 200; ++i) {
+        a = model.next_state(a, r1);
+        b = clone->next_state(b, r2);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(StateCodes, RoundTrip) {
+    EXPECT_EQ(vm::state_code(ProcState::Up), 'u');
+    EXPECT_EQ(vm::state_code(ProcState::Reclaimed), 'r');
+    EXPECT_EQ(vm::state_code(ProcState::Down), 'd');
+    EXPECT_EQ(vm::state_from_code('u'), ProcState::Up);
+    EXPECT_EQ(vm::state_from_code('r'), ProcState::Reclaimed);
+    EXPECT_EQ(vm::state_from_code('d'), ProcState::Down);
+    // Unknown codes fail safe to DOWN.
+    EXPECT_EQ(vm::state_from_code('x'), ProcState::Down);
+}
+
+TEST(StateNames, AreHumanReadable) {
+    EXPECT_EQ(vm::state_name(ProcState::Up), "UP");
+    EXPECT_EQ(vm::state_name(ProcState::Reclaimed), "RECLAIMED");
+    EXPECT_EQ(vm::state_name(ProcState::Down), "DOWN");
+}

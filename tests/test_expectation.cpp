@@ -1,0 +1,260 @@
+#include "markov/expectation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "markov/chain.hpp"
+#include "markov/gen.hpp"
+#include "util/rng.hpp"
+
+namespace vm = volsched::markov;
+using vm::ProcState;
+
+namespace {
+
+/// One conditional trial for Theorem 2: starting UP, walk until `workload`
+/// UP slots accumulated; reject the trial if DOWN occurs first.  Returns
+/// the elapsed slots on success.
+std::optional<long long> workload_trial(const vm::MarkovChain& chain,
+                                        int workload,
+                                        volsched::util::Rng& rng) {
+    int up_slots = 1; // the current slot counts
+    long long elapsed = 1;
+    ProcState s = ProcState::Up;
+    while (up_slots < workload) {
+        s = chain.sample_next(s, rng);
+        ++elapsed;
+        if (s == ProcState::Down) return std::nullopt;
+        if (s == ProcState::Up) ++up_slots;
+        if (elapsed > 5'000'000) return std::nullopt; // pathological guard
+    }
+    return elapsed;
+}
+
+} // namespace
+
+TEST(PPlus, FormulaMatchesMonteCarlo) {
+    volsched::util::Rng gen(7);
+    const auto chain = vm::generate_chain(gen);
+    const double predicted = vm::p_plus(chain.matrix());
+
+    volsched::util::Rng rng(8);
+    int success = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        ProcState s = ProcState::Up;
+        for (;;) {
+            s = chain.sample_next(s, rng);
+            if (s == ProcState::Up) {
+                ++success;
+                break;
+            }
+            if (s == ProcState::Down) break;
+        }
+    }
+    EXPECT_NEAR(success / static_cast<double>(n), predicted, 0.005);
+}
+
+TEST(PPlus, AbsorbingReclaimedReducesToPuu) {
+    vm::TransitionMatrix m({{{0.7, 0.2, 0.1},
+                             {0.0, 1.0, 0.0},
+                             {0.0, 0.0, 1.0}}});
+    EXPECT_DOUBLE_EQ(vm::p_plus(m), 0.7);
+}
+
+TEST(PPlus, NoReclaimedPathGivesPuu) {
+    vm::TransitionMatrix m({{{0.9, 0.0, 0.1},
+                             {0.3, 0.4, 0.3},
+                             {0.2, 0.2, 0.6}}});
+    EXPECT_DOUBLE_EQ(vm::p_plus(m), 0.9);
+}
+
+TEST(PPlus, IsAProbability) {
+    for (int seed = 0; seed < 50; ++seed) {
+        volsched::util::Rng rng(seed);
+        const auto m = vm::generate_matrix(rng);
+        const double p = vm::p_plus(m);
+        EXPECT_GT(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(EUp, NeverReclaimedMeansOneSlot) {
+    vm::TransitionMatrix m({{{0.95, 0.0, 0.05},
+                             {0.3, 0.4, 0.3},
+                             {0.2, 0.2, 0.6}}});
+    EXPECT_DOUBLE_EQ(vm::e_up(m), 1.0);
+}
+
+TEST(EUp, DetoursInflateExpectation) {
+    vm::TransitionMatrix m({{{0.5, 0.45, 0.05},
+                             {0.3, 0.6, 0.1},
+                             {0.2, 0.2, 0.6}}});
+    EXPECT_GT(vm::e_up(m), 1.0);
+}
+
+TEST(EUp, DeadChainIsInfinite) {
+    // From UP one can only go DOWN or stay RECLAIMED forever.
+    vm::TransitionMatrix m({{{0.0, 0.5, 0.5},
+                             {0.0, 1.0, 0.0},
+                             {0.0, 0.0, 1.0}}});
+    EXPECT_TRUE(std::isinf(vm::e_up(m)));
+}
+
+TEST(EWorkload, ZeroAndUnitWorkloads) {
+    volsched::util::Rng rng(77);
+    const auto m = vm::generate_matrix(rng);
+    EXPECT_DOUBLE_EQ(vm::e_workload(m, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(vm::e_workload(m, 1.0), 1.0);
+}
+
+TEST(EWorkload, AtLeastWorkload) {
+    for (int seed = 0; seed < 30; ++seed) {
+        volsched::util::Rng rng(seed);
+        const auto m = vm::generate_matrix(rng);
+        for (double w : {2.0, 5.0, 17.0, 100.0})
+            EXPECT_GE(vm::e_workload(m, w), w);
+    }
+}
+
+TEST(EWorkload, LinearInWorkload) {
+    volsched::util::Rng rng(88);
+    const auto m = vm::generate_matrix(rng);
+    const double e2 = vm::e_workload(m, 2.0);
+    const double e5 = vm::e_workload(m, 5.0);
+    const double e11 = vm::e_workload(m, 11.0);
+    // E(W) = 1 + (W-1) E(up): affine in W.
+    EXPECT_NEAR((e5 - e2) / 3.0, (e11 - e5) / 6.0, 1e-9);
+}
+
+TEST(EWorkload, ClosedFormMatchesTheorem2Expansion) {
+    volsched::util::Rng rng(99);
+    const auto m = vm::generate_matrix(rng);
+    const double w = 13.0;
+    const double direct =
+        w + (w - 1.0) * (m.p_ur() * m.p_ru() / (1.0 - m.p_rr())) *
+                (1.0 / (m.p_uu() * (1.0 - m.p_rr()) + m.p_ur() * m.p_ru()));
+    EXPECT_NEAR(vm::e_workload(m, w), direct, 1e-9);
+}
+
+TEST(SuccessProbability, MatchesPPlusPower) {
+    volsched::util::Rng rng(111);
+    const auto m = vm::generate_matrix(rng);
+    const double p = vm::p_plus(m);
+    EXPECT_NEAR(vm::workload_success_probability(m, 6.0), std::pow(p, 5.0),
+                1e-12);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(m, 1.0), 1.0);
+}
+
+TEST(PUdExact, TrivialCases) {
+    volsched::util::Rng rng(123);
+    const auto m = vm::generate_matrix(rng);
+    EXPECT_DOUBLE_EQ(vm::p_ud_exact(m, 1), 1.0);
+    EXPECT_NEAR(vm::p_ud_exact(m, 2), 1.0 - m.p_ud(), 1e-12);
+}
+
+TEST(PUdExact, DecreasesWithHorizon) {
+    volsched::util::Rng rng(125);
+    const auto m = vm::generate_matrix(rng);
+    double prev = 1.0;
+    for (unsigned k = 2; k < 40; k += 3) {
+        const double p = vm::p_ud_exact(m, k);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PUdExact, MatchesMonteCarlo) {
+    volsched::util::Rng gen(131);
+    const auto chain = vm::generate_chain(gen);
+    const unsigned k = 25;
+    const double predicted = vm::p_ud_exact(chain.matrix(), k);
+
+    volsched::util::Rng rng(132);
+    int survived = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ProcState s = ProcState::Up;
+        bool ok = true;
+        for (unsigned t = 1; t < k; ++t) {
+            s = chain.sample_next(s, rng);
+            if (s == ProcState::Down) {
+                ok = false;
+                break;
+            }
+        }
+        survived += ok;
+    }
+    EXPECT_NEAR(survived / static_cast<double>(n), predicted, 0.01);
+}
+
+TEST(PUdApprox, TracksExactWithinCoarseTolerance) {
+    // The paper's 1-step approximation deliberately forgets the state after
+    // the first transition and mixes the crash hazard with stationary
+    // weights; on recipe chains it deviates from the matrix power by up to
+    // ~0.16 absolute (measured).  The heuristics only use it to *rank*
+    // processors, so we check a coarse envelope plus shape properties.
+    for (int seed = 0; seed < 20; ++seed) {
+        volsched::util::Rng rng(seed + 500);
+        const auto chain = vm::generate_chain(rng);
+        const auto& m = chain.matrix();
+        const auto& pi = chain.stationary();
+        double prev = 1.0;
+        for (unsigned k : {3u, 8u, 20u, 50u}) {
+            const double exact = vm::p_ud_exact(m, k);
+            const double approx =
+                vm::p_ud_approx(m, pi.pi_u, pi.pi_r, static_cast<double>(k));
+            EXPECT_NEAR(approx, exact, 0.2) << "seed " << seed << " k " << k;
+            EXPECT_GE(approx, 0.0);
+            EXPECT_LE(approx, 1.0);
+            EXPECT_LT(approx, prev); // monotone decreasing in k
+            prev = approx;
+        }
+    }
+}
+
+TEST(PUdApprox, EdgeCases) {
+    volsched::util::Rng rng(600);
+    const auto chain = vm::generate_chain(rng);
+    const auto& m = chain.matrix();
+    const auto& pi = chain.stationary();
+    EXPECT_DOUBLE_EQ(vm::p_ud_approx(m, pi.pi_u, pi.pi_r, 1.0), 1.0);
+    EXPECT_NEAR(vm::p_ud_approx(m, pi.pi_u, pi.pi_r, 2.0), 1.0 - m.p_ud(),
+                1e-12);
+    EXPECT_EQ(vm::p_ud_approx(m, 0.0, 0.0, 5.0), 0.0);
+}
+
+// The centerpiece property test: Theorem 2's closed form against Monte
+// Carlo, across chains and workload sizes.
+class Theorem2Property
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Theorem2Property, ClosedFormMatchesMonteCarlo) {
+    const auto [seed, workload] = GetParam();
+    volsched::util::Rng gen(static_cast<std::uint64_t>(seed) + 900);
+    const auto chain = vm::generate_chain(gen);
+    const double predicted =
+        vm::e_workload(chain.matrix(), static_cast<double>(workload));
+
+    volsched::util::Rng rng(static_cast<std::uint64_t>(seed) + 901);
+    double sum = 0;
+    long long accepted = 0;
+    const int trials = 60000;
+    for (int i = 0; i < trials; ++i) {
+        if (const auto elapsed = workload_trial(chain, workload, rng)) {
+            sum += static_cast<double>(*elapsed);
+            ++accepted;
+        }
+    }
+    ASSERT_GT(accepted, 1000);
+    const double empirical = sum / static_cast<double>(accepted);
+    EXPECT_NEAR(empirical, predicted, 0.05 * predicted)
+        << "chain " << chain.matrix().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChainsAndWorkloads, Theorem2Property,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 5, 12, 30)));

@@ -1,0 +1,154 @@
+/// Property-style sweeps over the heuristic scoring functions: invariants
+/// that must hold for any recipe chain and any processor configuration.
+
+#include <gtest/gtest.h>
+
+#include "core/ct.hpp"
+#include "core/factory.hpp"
+#include "markov/expectation.hpp"
+#include "markov/gen.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace vc = volsched::core;
+namespace vs = volsched::sim;
+namespace vm = volsched::markov;
+
+namespace {
+
+struct Fixture {
+    vs::Platform platform;
+    std::vector<vs::ProcView> procs;
+    std::vector<vm::MarkovChain> chains;
+    vs::SchedView view;
+
+    Fixture(int p, std::uint64_t seed) {
+        volsched::util::Rng rng(seed);
+        platform.ncom = 1 + static_cast<int>(rng.uniform_int(0, 4));
+        platform.t_prog = 1 + static_cast<int>(rng.uniform_int(0, 19));
+        platform.t_data = 1 + static_cast<int>(rng.uniform_int(0, 9));
+        platform.w.resize(static_cast<std::size_t>(p));
+        procs.resize(static_cast<std::size_t>(p));
+        chains.reserve(static_cast<std::size_t>(p));
+        for (int q = 0; q < p; ++q) {
+            chains.push_back(vm::generate_chain(rng));
+            platform.w[q] = 1 + static_cast<int>(rng.uniform_int(0, 19));
+            auto& pv = procs[q];
+            pv.state = vm::ProcState::Up;
+            pv.has_program = rng.bernoulli(0.5);
+            pv.buffer_free = true;
+            pv.w = platform.w[q];
+            pv.delay = static_cast<int>(rng.uniform_int(0, 40));
+        }
+        for (int q = 0; q < p; ++q) procs[q].belief = &chains[q];
+        view.platform = &platform;
+        view.procs = procs;
+        view.slot = 0;
+        view.nactive = static_cast<int>(rng.uniform_int(0, p));
+        view.remaining_tasks = 3;
+    }
+};
+
+std::vector<vs::ProcId> all_procs(int p) {
+    std::vector<vs::ProcId> out(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) out[q] = q;
+    return out;
+}
+
+} // namespace
+
+class HeuristicProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicProperty, CtIsMonotoneInQueueLengthAndDelay) {
+    Fixture f(6, static_cast<std::uint64_t>(GetParam()));
+    for (int q = 0; q < 6; ++q) {
+        double prev = 0.0;
+        for (int n = 1; n <= 5; ++n) {
+            const double ct = vc::ct_plain(f.view, q, n);
+            EXPECT_GT(ct, prev);
+            prev = ct;
+        }
+        // The corrected estimate never undercuts the plain one (the factor
+        // is ceil(.) >= 1).
+        EXPECT_GE(vc::ct_corrected(f.view, q, 1, false),
+                  vc::ct_plain(f.view, q, 1));
+    }
+}
+
+TEST_P(HeuristicProperty, EveryGreedyChoiceIsEligible) {
+    Fixture f(6, static_cast<std::uint64_t>(GetParam()) + 50);
+    const std::vector<vs::ProcId> eligible = {1, 3, 4};
+    std::vector<int> nq(6, 0);
+    volsched::util::Rng rng(9);
+    for (const auto& name : vc::all_heuristic_names()) {
+        auto sched = vc::make_scheduler(name);
+        const auto pick = sched->select(f.view, eligible, nq, rng);
+        EXPECT_TRUE(pick == 1 || pick == 3 || pick == 4) << name;
+    }
+}
+
+TEST_P(HeuristicProperty, SingleEligibleProcessorIsAlwaysChosen) {
+    Fixture f(4, static_cast<std::uint64_t>(GetParam()) + 100);
+    const std::vector<vs::ProcId> eligible = {2};
+    std::vector<int> nq(4, 0);
+    volsched::util::Rng rng(10);
+    for (const auto& name : vc::all_heuristic_names()) {
+        auto sched = vc::make_scheduler(name);
+        EXPECT_EQ(sched->select(f.view, eligible, nq, rng), 2) << name;
+    }
+}
+
+TEST_P(HeuristicProperty, EmctNeverRanksBelowItsOwnCt) {
+    // E(W) >= W pointwise, so the EMCT score of any processor dominates its
+    // MCT score — the expectation only adds RECLAIMED detours.
+    Fixture f(6, static_cast<std::uint64_t>(GetParam()) + 200);
+    for (int q = 0; q < 6; ++q) {
+        const double ct = vc::ct_plain(f.view, q, 1);
+        const double e = vm::e_workload(f.chains[q].matrix(), ct);
+        EXPECT_GE(e, ct);
+    }
+}
+
+TEST_P(HeuristicProperty, MctPrefersStrictlyDominatingProcessor) {
+    // If one processor has smaller delay AND smaller w, MCT must take it.
+    Fixture f(2, static_cast<std::uint64_t>(GetParam()) + 300);
+    f.procs[0].delay = 10;
+    f.procs[0].w = 8;
+    f.procs[1].delay = 2;
+    f.procs[1].w = 3;
+    f.view.procs = f.procs;
+    std::vector<int> nq(2, 0);
+    volsched::util::Rng rng(11);
+    auto sched = vc::make_scheduler("mct");
+    EXPECT_EQ(sched->select(f.view, all_procs(2), nq, rng), 1);
+}
+
+TEST_P(HeuristicProperty, InformedFamiliesAgreeOnIdenticalProcessors) {
+    // With identical chains, speeds and delays, every deterministic greedy
+    // heuristic must tie-break to the lowest index.
+    Fixture f(5, static_cast<std::uint64_t>(GetParam()) + 400);
+    volsched::util::Rng rng(12);
+    const auto chain = vm::generate_chain(rng);
+    for (int q = 0; q < 5; ++q) {
+        f.chains[q] = chain;
+        f.procs[q].w = 4;
+        f.procs[q].delay = 3;
+        f.procs[q].has_program = true;
+    }
+    for (int q = 0; q < 5; ++q) f.procs[q].belief = &f.chains[q];
+    f.view.procs = f.procs;
+    std::vector<int> nq(5, 0);
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        auto sched = vc::make_scheduler(name);
+        EXPECT_EQ(sched->select(f.view, all_procs(5), nq, rng), 0) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicProperty, ::testing::Range(0, 10));
+
+TEST(HeuristicNames, FactoryOrderMatchesPaperTable2) {
+    const auto& names = vc::all_heuristic_names();
+    // The paper's Table 2 lists the EMCT family first and plain random last.
+    EXPECT_EQ(names.front(), "emct");
+    EXPECT_EQ(names.back(), "random");
+}

@@ -1,0 +1,173 @@
+#include "offline/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/instance.hpp"
+#include "offline/mct.hpp"
+#include "util/rng.hpp"
+
+namespace vo = volsched::offline;
+
+namespace {
+
+vo::OfflineInstance always_up(int p, int w, int ncom, int t_prog, int t_data,
+                              int m, int horizon) {
+    vo::OfflineInstance inst;
+    inst.platform.w.assign(static_cast<std::size_t>(p), w);
+    inst.platform.ncom = ncom;
+    inst.platform.t_prog = t_prog;
+    inst.platform.t_data = t_data;
+    inst.num_tasks = m;
+    inst.horizon = horizon;
+    inst.states.assign(static_cast<std::size_t>(p),
+                       std::vector<volsched::markov::ProcState>(
+                           static_cast<std::size_t>(horizon),
+                           volsched::markov::ProcState::Up));
+    return inst;
+}
+
+} // namespace
+
+TEST(Exact, SingleProcSingleTask) {
+    const auto inst = always_up(1, 2, 1, 1, 1, 1, 10);
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.proven);
+    ASSERT_TRUE(res.feasible);
+    // prog 0, data 1, compute 2-3 -> makespan 4.
+    EXPECT_EQ(res.makespan, 4);
+}
+
+TEST(Exact, ParallelismWithUnboundedBandwidth) {
+    const auto inst = always_up(2, 2, 2, 1, 1, 2, 10);
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.makespan, 4); // both procs in lockstep
+}
+
+TEST(Exact, BandwidthSerializationCost) {
+    const auto inst = always_up(2, 2, 1, 1, 1, 2, 12);
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.feasible);
+    // Optimal interleaving: prog P0 (0), data P0 (1), prog P1 (2),
+    // data P1 (3); computes 2-3 and 4-5 -> makespan 6... or pipeline both
+    // tasks on P0: prog 0, data0 1, data1 2, compute0 2-3, compute1 4-5
+    // -> also 6.
+    EXPECT_EQ(res.makespan, 6);
+}
+
+TEST(Exact, InfeasibleWhenHorizonTooShort) {
+    const auto inst = always_up(1, 5, 1, 1, 1, 1, 4);
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.proven);
+    EXPECT_FALSE(res.feasible);
+}
+
+TEST(Exact, ZeroDataCostGrabsTasksInstantly) {
+    // Tprog = 2, Tdata = 0, w = 1, m = 3, single proc:
+    // prog 0-1, computes slots 2, 3, 4 -> makespan 5.
+    const auto inst = always_up(1, 1, 1, 2, 0, 3, 10);
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.makespan, 5);
+}
+
+TEST(Exact, PaperMctCounterExample) {
+    // Section 4's example: Tprog = Tdata = 2, m = 2, p = 2, w = 2, ncom = 1,
+    // S1 = [u u u u u u r r r], S2 = [r u u u u u u u u].
+    // The optimum waits one slot and funnels everything through P2: 9 slots.
+    vo::OfflineInstance inst;
+    inst.platform.w = {2, 2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 2;
+    inst.platform.t_data = 2;
+    inst.num_tasks = 2;
+    inst.horizon = 9;
+    inst.states = vo::states_from_strings({"uuuuuurrr", "ruuuuuuuu"});
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.proven);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.makespan, 9);
+}
+
+TEST(Exact, PaperCounterExampleGreedyStartIsWorse) {
+    // Same instance, but emulate MCT's greedy first decision by denying P2
+    // (make it RECLAIMED until slot 5): committing P1 to task 1 first, the
+    // remaining schedule cannot finish both tasks by slot 9.
+    vo::OfflineInstance inst;
+    inst.platform.w = {2, 2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 2;
+    inst.platform.t_data = 2;
+    inst.num_tasks = 2;
+    inst.horizon = 9;
+    inst.states = vo::states_from_strings({"uuuuuurrr", "rrrrruuuu"});
+    const auto res = vo::solve_exact(inst);
+    ASSERT_TRUE(res.proven);
+    EXPECT_FALSE(res.feasible); // P2's window is now too short
+}
+
+TEST(Exact, MatchesValidatedScheduleOnPaperExample) {
+    // Build the paper's optimal 9-slot schedule explicitly and validate it.
+    vo::OfflineInstance inst;
+    inst.platform.w = {2, 2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 2;
+    inst.platform.t_data = 2;
+    inst.num_tasks = 2;
+    inst.horizon = 9;
+    inst.states = vo::states_from_strings({"uuuuuurrr", "ruuuuuuuu"});
+    auto sched = vo::Schedule::idle(inst);
+    // P2 (index 1): prog slots 1-2, data0 slots 3-4, compute0 5-6 with
+    // data1 slots 5-6 overlapped, compute1 7-8.
+    sched.actions[1][1].recv = vo::kRecvProg;
+    sched.actions[1][2].recv = vo::kRecvProg;
+    sched.actions[1][3].recv = 0;
+    sched.actions[1][4].recv = 0;
+    sched.actions[1][5].compute = 0;
+    sched.actions[1][5].recv = 1;
+    sched.actions[1][6].compute = 0;
+    sched.actions[1][6].recv = 1;
+    sched.actions[1][7].compute = 1;
+    sched.actions[1][8].compute = 1;
+    const auto v = vo::validate(inst, sched);
+    ASSERT_TRUE(v.valid) << v.error;
+    EXPECT_TRUE(v.all_done);
+    EXPECT_EQ(v.makespan, 9);
+}
+
+TEST(Exact, NodeCapReportsUnproven) {
+    const auto inst = always_up(3, 2, 2, 2, 2, 4, 20);
+    const auto res = vo::solve_exact(inst, /*node_cap=*/50);
+    EXPECT_FALSE(res.proven);
+}
+
+TEST(Exact, RejectsTooManyTasks) {
+    const auto inst = always_up(1, 1, 1, 1, 1, 21, 100);
+    EXPECT_THROW(vo::solve_exact(inst), std::invalid_argument);
+}
+
+TEST(Exact, RejectsMalformedInstance) {
+    vo::OfflineInstance inst; // empty
+    EXPECT_THROW(vo::solve_exact(inst), std::invalid_argument);
+}
+
+TEST(Exact, NeverBeatsAnyValidSchedule) {
+    // Sanity: on random instances, the MCT schedule's makespan is an upper
+    // bound for the exact optimum.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        volsched::util::Rng rng(seed + 77);
+        auto inst = always_up(2, 1 + static_cast<int>(rng.uniform_int(0, 1)),
+                              2, 1, 1, 3, 14);
+        for (auto& row : inst.states)
+            for (auto& s : row)
+                if (rng.bernoulli(0.25))
+                    s = volsched::markov::ProcState::Reclaimed;
+        const auto mct = vo::mct_offline(inst);
+        const auto exact = vo::solve_exact(inst, 5'000'000);
+        if (!exact.proven) continue;
+        if (mct.feasible) {
+            ASSERT_TRUE(exact.feasible);
+            EXPECT_LE(exact.makespan, mct.makespan) << "seed " << seed;
+        }
+    }
+}

@@ -1,0 +1,177 @@
+#include "offline/mct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/exact.hpp"
+#include "util/rng.hpp"
+
+namespace vo = volsched::offline;
+
+namespace {
+
+vo::OfflineInstance always_up(int p, int w, int t_prog, int t_data, int m,
+                              int horizon) {
+    vo::OfflineInstance inst;
+    inst.platform.w.assign(static_cast<std::size_t>(p), w);
+    inst.platform.ncom = p; // effectively unbounded: <=1 transfer per proc
+    inst.platform.t_prog = t_prog;
+    inst.platform.t_data = t_data;
+    inst.num_tasks = m;
+    inst.horizon = horizon;
+    inst.states.assign(static_cast<std::size_t>(p),
+                       std::vector<volsched::markov::ProcState>(
+                           static_cast<std::size_t>(horizon),
+                           volsched::markov::ProcState::Up));
+    return inst;
+}
+
+/// Random small 2-state (u/r) instance for property tests.
+vo::OfflineInstance random_two_state(int p, int m, int horizon,
+                                     std::uint64_t seed) {
+    volsched::util::Rng rng(seed);
+    vo::OfflineInstance inst;
+    inst.num_tasks = m;
+    inst.horizon = horizon;
+    inst.platform.ncom = p;
+    inst.platform.t_prog = 1 + static_cast<int>(rng.uniform_int(0, 1));
+    inst.platform.t_data = 1;
+    for (int q = 0; q < p; ++q) {
+        inst.platform.w.push_back(1 + static_cast<int>(rng.uniform_int(0, 1)));
+        std::vector<volsched::markov::ProcState> row;
+        for (int t = 0; t < horizon; ++t)
+            row.push_back(rng.bernoulli(0.75)
+                              ? volsched::markov::ProcState::Up
+                              : volsched::markov::ProcState::Reclaimed);
+        inst.states.push_back(std::move(row));
+    }
+    return inst;
+}
+
+} // namespace
+
+TEST(SimulateProcessor, SingleTaskPipeline) {
+    const auto inst = always_up(1, 2, 1, 1, 1, 10);
+    const auto completion = vo::simulate_processor(inst, 0, {0}, nullptr);
+    // prog 0, data 1, compute 2-3 -> completion slot 4 (1-based count).
+    ASSERT_EQ(completion.size(), 1u);
+    EXPECT_EQ(completion[0], 4);
+}
+
+TEST(SimulateProcessor, PipelineOverlapsDataWithCompute) {
+    const auto inst = always_up(1, 2, 1, 1, 2, 10);
+    const auto completion = vo::simulate_processor(inst, 0, {0, 1}, nullptr);
+    // task0 at 4; task1's data arrives during task0's compute; compute 4-5
+    // -> completion 6.
+    EXPECT_EQ(completion[0], 4);
+    EXPECT_EQ(completion[1], 6);
+}
+
+TEST(SimulateProcessor, DataBoundPipeline) {
+    const auto inst = always_up(1, 1, 1, 3, 2, 12);
+    const auto completion = vo::simulate_processor(inst, 0, {0, 1}, nullptr);
+    // prog 0; data0 1-3; compute0 4; data1 4-6; compute1 7 -> 5 and 8.
+    EXPECT_EQ(completion[0], 5);
+    EXPECT_EQ(completion[1], 8);
+}
+
+TEST(SimulateProcessor, ReclaimedPausesEverything) {
+    auto inst = always_up(1, 1, 1, 1, 1, 10);
+    inst.states = vo::states_from_strings({"urruuuuuuu"});
+    const auto completion = vo::simulate_processor(inst, 0, {0}, nullptr);
+    // prog 0, r r, data 3, compute 4 -> completion 5.
+    EXPECT_EQ(completion[0], 5);
+}
+
+TEST(SimulateProcessor, DownRestartsFromScratch) {
+    auto inst = always_up(1, 1, 2, 1, 1, 12);
+    inst.states = vo::states_from_strings({"uuuduuuuuuuu"});
+    const auto completion = vo::simulate_processor(inst, 0, {0}, nullptr);
+    // prog 0-1, data 2, crash 3 (everything lost), prog 4-5, data 6,
+    // compute 7 -> completion 8.
+    EXPECT_EQ(completion[0], 8);
+}
+
+TEST(SimulateProcessor, IncompleteTasksGetSentinel) {
+    const auto inst = always_up(1, 5, 1, 1, 1, 4);
+    const auto completion = vo::simulate_processor(inst, 0, {0}, nullptr);
+    EXPECT_GT(completion[0], inst.horizon);
+}
+
+TEST(SimulateProcessor, EmittedActionsValidate) {
+    auto inst = always_up(1, 2, 2, 2, 3, 30);
+    std::vector<vo::SlotAction> actions;
+    const auto completion = vo::simulate_processor(inst, 0, {0, 1, 2}, &actions);
+    EXPECT_LE(completion.back(), inst.horizon);
+    vo::Schedule sched;
+    sched.actions.push_back(actions);
+    const auto res = vo::validate(inst, sched);
+    EXPECT_TRUE(res.valid) << res.error;
+    EXPECT_TRUE(res.all_done);
+    EXPECT_EQ(res.makespan, completion.back());
+}
+
+TEST(MctOffline, SpreadsTasksAcrossEqualProcessors) {
+    const auto inst = always_up(2, 2, 1, 1, 2, 20);
+    const auto res = vo::mct_offline(inst);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.assignment[0].size(), 1u);
+    EXPECT_EQ(res.assignment[1].size(), 1u);
+    EXPECT_EQ(res.makespan, 4);
+}
+
+TEST(MctOffline, ScheduleValidates) {
+    const auto inst = always_up(3, 2, 2, 1, 5, 40);
+    const auto res = vo::mct_offline(inst);
+    ASSERT_TRUE(res.feasible);
+    const auto v = vo::validate(inst, res.schedule);
+    EXPECT_TRUE(v.valid) << v.error;
+    EXPECT_TRUE(v.all_done);
+    EXPECT_EQ(v.makespan, res.makespan);
+}
+
+TEST(MctOffline, PrefersFasterProcessor) {
+    auto inst = always_up(2, 1, 1, 1, 1, 20);
+    inst.platform.w = {5, 1};
+    const auto res = vo::mct_offline(inst);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_TRUE(res.assignment[0].empty());
+    EXPECT_EQ(res.assignment[1].size(), 1u);
+}
+
+TEST(MctOffline, AvoidsReclaimedProcessor) {
+    auto inst = always_up(2, 1, 1, 1, 1, 20);
+    inst.states = vo::states_from_strings(
+        {"rrrrrrrrrruuuuuuuuuu", "uuuuuuuuuuuuuuuuuuuu"});
+    const auto res = vo::mct_offline(inst);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.assignment[1].size(), 1u);
+    EXPECT_EQ(res.makespan, 3);
+}
+
+TEST(MctOffline, InfeasibleReportsSentinel) {
+    auto inst = always_up(1, 10, 1, 1, 2, 5);
+    const auto res = vo::mct_offline(inst);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_EQ(res.makespan, inst.horizon + 1);
+}
+
+// Proposition 2: with unbounded ncom, MCT is optimal.  Cross-check against
+// the exact solver on random small 2-state instances.
+class MctOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(MctOptimality, MatchesExactSolverWithUnboundedNcom) {
+    const auto inst = random_two_state(/*p=*/2, /*m=*/3, /*horizon=*/16,
+                                       static_cast<std::uint64_t>(GetParam()));
+    const auto mct = vo::mct_offline(inst);
+    const auto exact = vo::solve_exact(inst, 10'000'000);
+    ASSERT_TRUE(exact.proven) << "node cap hit";
+    if (exact.feasible) {
+        ASSERT_TRUE(mct.feasible)
+            << "MCT infeasible where exact found " << exact.makespan;
+        EXPECT_EQ(mct.makespan, exact.makespan) << "seed " << GetParam();
+    } else {
+        EXPECT_FALSE(mct.feasible);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MctOptimality, ::testing::Range(0, 12));

@@ -1,0 +1,176 @@
+#include "offline/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "offline/exact.hpp"
+#include "util/rng.hpp"
+
+namespace vo = volsched::offline;
+using volsched::markov::ProcState;
+
+TEST(Sat3, SatisfiedByChecksClauses) {
+    vo::Sat3 sat;
+    sat.num_vars = 2;
+    sat.clauses = {vo::Clause{{1, 2, 2}}, vo::Clause{{-1, 2, 2}}};
+    EXPECT_TRUE(sat.satisfied_by({true, true}));
+    EXPECT_TRUE(sat.satisfied_by({false, true}));
+    EXPECT_FALSE(sat.satisfied_by({true, false}));
+    EXPECT_FALSE(sat.satisfied_by({false, false})); // clause 1 fails
+    EXPECT_FALSE(sat.satisfied_by({true}));         // wrong arity
+}
+
+TEST(Sat3, BruteForceFindsWitness) {
+    vo::Sat3 sat;
+    sat.num_vars = 3;
+    sat.clauses = {vo::Clause{{1, 2, 3}}, vo::Clause{{-1, -2, -3}}};
+    std::vector<bool> witness;
+    ASSERT_TRUE(vo::brute_force_sat(sat, &witness));
+    EXPECT_TRUE(sat.satisfied_by(witness));
+}
+
+TEST(Sat3, BruteForceDetectsUnsat) {
+    // (x1) & (~x1) in 3-literal padding.
+    vo::Sat3 sat;
+    sat.num_vars = 1;
+    sat.clauses = {vo::Clause{{1, 1, 1}}, vo::Clause{{-1, -1, -1}}};
+    EXPECT_FALSE(vo::brute_force_sat(sat));
+}
+
+TEST(Figure1, IsSatisfiable) {
+    const auto sat = vo::figure1_instance();
+    EXPECT_EQ(sat.num_vars, 4);
+    EXPECT_EQ(sat.clauses.size(), 6u);
+    std::vector<bool> witness;
+    EXPECT_TRUE(vo::brute_force_sat(sat, &witness));
+}
+
+TEST(Reduction, InstanceShapeMatchesTheorem1) {
+    const auto sat = vo::figure1_instance();
+    const auto inst = vo::sat_to_offline(sat);
+    EXPECT_TRUE(inst.validate().empty());
+    EXPECT_EQ(inst.num_procs(), 8);        // 2n
+    EXPECT_EQ(inst.num_tasks, 6);          // m
+    EXPECT_EQ(inst.horizon, 6 * 5);        // m(n+1)
+    EXPECT_EQ(inst.platform.ncom, 1);
+    EXPECT_EQ(inst.platform.t_prog, 6);    // m
+    EXPECT_EQ(inst.platform.t_data, 0);
+    for (int w : inst.platform.w) EXPECT_EQ(w, 1);
+}
+
+TEST(Reduction, ClauseSlotsEncodeLiterals) {
+    const auto sat = vo::figure1_instance();
+    const auto inst = vo::sat_to_offline(sat);
+    // Clause 0 = (~x1 | x3 | x4): processors of ~x1 (idx 1), x3 (idx 4),
+    // x4 (idx 6) are UP in slot 0; x1 (idx 0) is not.
+    EXPECT_EQ(inst.states[1][0], ProcState::Up);
+    EXPECT_EQ(inst.states[4][0], ProcState::Up);
+    EXPECT_EQ(inst.states[6][0], ProcState::Up);
+    EXPECT_EQ(inst.states[0][0], ProcState::Reclaimed);
+}
+
+TEST(Reduction, VariableWindowsAreExclusive) {
+    const auto sat = vo::figure1_instance();
+    const auto inst = vo::sat_to_offline(sat);
+    const int m = inst.num_tasks;
+    for (int v = 0; v < sat.num_vars; ++v) {
+        for (int j = 0; j < m; ++j) {
+            const int t = m * (v + 1) + j;
+            for (int q = 0; q < inst.num_procs(); ++q) {
+                const bool own = (q / 2 == v);
+                EXPECT_EQ(inst.states[q][t] == ProcState::Up, own)
+                    << "proc " << q << " slot " << t;
+            }
+        }
+    }
+}
+
+TEST(Reduction, SatisfyingAssignmentYieldsValidSchedule) {
+    const auto sat = vo::figure1_instance();
+    const auto inst = vo::sat_to_offline(sat);
+    std::vector<bool> witness;
+    ASSERT_TRUE(vo::brute_force_sat(sat, &witness));
+    const auto sched = vo::schedule_from_assignment(sat, inst, witness);
+    const auto res = vo::validate(inst, sched);
+    ASSERT_TRUE(res.valid) << res.error;
+    EXPECT_TRUE(res.all_done);
+    EXPECT_LE(res.makespan, inst.horizon);
+}
+
+TEST(Reduction, RejectsNonSatisfyingAssignment) {
+    const auto sat = vo::figure1_instance();
+    const auto inst = vo::sat_to_offline(sat);
+    std::vector<bool> witness;
+    ASSERT_TRUE(vo::brute_force_sat(sat, &witness));
+    // Find an assignment that does NOT satisfy the formula.
+    std::vector<bool> bad = witness;
+    for (std::uint32_t bits = 0; bits < 16; ++bits) {
+        for (int v = 0; v < 4; ++v) bad[v] = (bits >> v) & 1u;
+        if (!sat.satisfied_by(bad)) break;
+    }
+    ASSERT_FALSE(sat.satisfied_by(bad));
+    EXPECT_THROW(vo::schedule_from_assignment(sat, inst, bad),
+                 std::invalid_argument);
+}
+
+TEST(Reduction, RejectsEmptyFormula) {
+    vo::Sat3 empty;
+    EXPECT_THROW(vo::sat_to_offline(empty), std::invalid_argument);
+}
+
+namespace {
+
+/// Random tiny 3SAT instance over `n` variables with `m` clauses.  Within a
+/// clause each variable gets a single sign (no tautological x | ~x pairs),
+/// matching the proper-clause assumption of the Theorem 1 reduction.
+vo::Sat3 random_sat(int n, int m, std::uint64_t seed) {
+    volsched::util::Rng rng(seed);
+    vo::Sat3 sat;
+    sat.num_vars = n;
+    for (int c = 0; c < m; ++c) {
+        std::vector<bool> sign(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) sign[v] = rng.bernoulli(0.5);
+        vo::Clause clause;
+        for (int k = 0; k < 3; ++k) {
+            const int var = 1 + static_cast<int>(rng.uniform_int(0, n - 1));
+            clause.lits[k] = sign[var - 1] ? var : -var;
+        }
+        sat.clauses.push_back(clause);
+    }
+    return sat;
+}
+
+} // namespace
+
+// The crown-jewel equivalence: a formula is satisfiable if and only if the
+// reduced Off-Line instance can complete within N = m(n+1) slots.  The
+// exact solver decides the right-hand side.
+class ReductionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionEquivalence, SatIffSchedulable) {
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const auto sat = random_sat(/*n=*/2, /*m=*/3, seed);
+    const auto inst = vo::sat_to_offline(sat);
+    const bool satisfiable = vo::brute_force_sat(sat);
+    const auto exact = vo::solve_exact(inst, 20'000'000);
+    ASSERT_TRUE(exact.proven) << "node cap hit at seed " << seed;
+    EXPECT_EQ(exact.feasible, satisfiable) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence, ::testing::Range(0, 10));
+
+TEST(ReductionEquivalence, ConstructiveDirectionOnRandomInstances) {
+    // For satisfiable formulas, the constructive schedule always validates.
+    int built = 0;
+    for (std::uint64_t seed = 100; seed < 130 && built < 8; ++seed) {
+        const auto sat = random_sat(3, 4, seed);
+        std::vector<bool> witness;
+        if (!vo::brute_force_sat(sat, &witness)) continue;
+        const auto inst = vo::sat_to_offline(sat);
+        const auto sched = vo::schedule_from_assignment(sat, inst, witness);
+        const auto res = vo::validate(inst, sched);
+        ASSERT_TRUE(res.valid) << res.error << " at seed " << seed;
+        EXPECT_TRUE(res.all_done);
+        ++built;
+    }
+    EXPECT_GE(built, 5);
+}

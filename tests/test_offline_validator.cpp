@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "offline/instance.hpp"
+#include "offline/schedule.hpp"
+
+namespace vo = volsched::offline;
+using volsched::markov::ProcState;
+
+namespace {
+
+/// p=1, w=2, Tprog=1, Tdata=1, m=1, horizon 6, always UP.
+vo::OfflineInstance tiny_instance() {
+    vo::OfflineInstance inst;
+    inst.platform.w = {2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 6;
+    inst.states = vo::states_from_strings({"uuuuuu"});
+    return inst;
+}
+
+/// The canonical valid schedule for tiny_instance: prog 0, data 1,
+/// compute 2-3.
+vo::Schedule tiny_schedule() {
+    auto inst = tiny_instance();
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = 0;
+    sched.actions[0][2].compute = 0;
+    sched.actions[0][3].compute = 0;
+    return sched;
+}
+
+} // namespace
+
+TEST(Validator, AcceptsCanonicalSchedule) {
+    const auto inst = tiny_instance();
+    const auto res = vo::validate(inst, tiny_schedule());
+    EXPECT_TRUE(res.valid) << res.error;
+    EXPECT_TRUE(res.all_done);
+    EXPECT_EQ(res.makespan, 4);
+}
+
+TEST(Validator, IdleScheduleIsValidButIncomplete) {
+    const auto inst = tiny_instance();
+    const auto res = vo::validate(inst, vo::Schedule::idle(inst));
+    EXPECT_TRUE(res.valid);
+    EXPECT_FALSE(res.all_done);
+}
+
+TEST(Validator, RejectsActionOnReclaimedProcessor) {
+    auto inst = tiny_instance();
+    inst.states = vo::states_from_strings({"ruuuuu"});
+    const auto res = vo::validate(inst, tiny_schedule());
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("non-UP"), std::string::npos);
+}
+
+TEST(Validator, RejectsComputeWithoutProgram) {
+    const auto inst = tiny_instance();
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = 0; // data before any program slot
+    sched.actions[0][1].compute = 0;
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("program"), std::string::npos);
+}
+
+TEST(Validator, RejectsComputeWithoutData) {
+    const auto inst = tiny_instance();
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].compute = 0; // no data yet
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("data"), std::string::npos);
+}
+
+TEST(Validator, RejectsComputeInSameSlotAsLastDataByte) {
+    const auto inst = tiny_instance();
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = 0;
+    sched.actions[0][1].compute = 0; // data only completes during slot 1
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+}
+
+TEST(Validator, RejectsBandwidthOverflow) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1, 1};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 2;
+    inst.horizon = 4;
+    inst.states = vo::states_from_strings({"uuuu", "uuuu"});
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[1][0].recv = vo::kRecvProg; // 2 transfers > ncom = 1
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("bandwidth"), std::string::npos);
+}
+
+TEST(Validator, AllowsParallelTransfersUpToNcom) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1, 1};
+    inst.platform.ncom = 2;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 2;
+    inst.horizon = 4;
+    inst.states = vo::states_from_strings({"uuuu", "uuuu"});
+    auto sched = vo::Schedule::idle(inst);
+    for (int q = 0; q < 2; ++q) {
+        sched.actions[q][0].recv = vo::kRecvProg;
+        sched.actions[q][1].recv = q; // task q
+        sched.actions[q][2].compute = q;
+    }
+    const auto res = vo::validate(inst, sched);
+    EXPECT_TRUE(res.valid) << res.error;
+    EXPECT_TRUE(res.all_done);
+    EXPECT_EQ(res.makespan, 3);
+}
+
+TEST(Validator, RejectsProgramOverReception) {
+    const auto inst = tiny_instance();
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = vo::kRecvProg; // Tprog == 1
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("over-received"), std::string::npos);
+}
+
+TEST(Validator, RejectsSecondTaskBeforeFirstFinishes) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 2;
+    inst.horizon = 8;
+    inst.states = vo::states_from_strings({"uuuuuuuu"});
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = 0;
+    sched.actions[0][2].compute = 0;
+    sched.actions[0][2].recv = 1;
+    sched.actions[0][3].compute = 1; // task 0 needs two compute slots
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("second task"), std::string::npos);
+}
+
+TEST(Validator, DownWipesProgramAndData) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 6;
+    inst.states = vo::states_from_strings({"uuduuu"});
+    // Receive everything before the crash, try to compute after: invalid.
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = 0;
+    sched.actions[0][3].compute = 0;
+    auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    // Re-receiving after the crash makes it valid.
+    sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][3].recv = vo::kRecvProg;
+    sched.actions[0][4].recv = 0;
+    sched.actions[0][5].compute = 0;
+    res = vo::validate(inst, sched);
+    EXPECT_TRUE(res.valid) << res.error;
+    EXPECT_TRUE(res.all_done);
+}
+
+TEST(Validator, ComputeAndReceiveOverlapIsLegal) {
+    // A processor may compute one task while receiving the next one's data.
+    vo::OfflineInstance inst;
+    inst.platform.w = {2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 2;
+    inst.horizon = 8;
+    inst.states = vo::states_from_strings({"uuuuuuuu"});
+    auto sched = vo::Schedule::idle(inst);
+    sched.actions[0][0].recv = vo::kRecvProg;
+    sched.actions[0][1].recv = 0;
+    sched.actions[0][2].compute = 0;
+    sched.actions[0][2].recv = 1; // overlap
+    sched.actions[0][3].compute = 0;
+    sched.actions[0][4].compute = 1;
+    sched.actions[0][5].compute = 1;
+    const auto res = vo::validate(inst, sched);
+    EXPECT_TRUE(res.valid) << res.error;
+    EXPECT_EQ(res.makespan, 6);
+}
+
+TEST(Validator, RejectsMalformedShapes) {
+    const auto inst = tiny_instance();
+    vo::Schedule bad; // no rows at all
+    EXPECT_FALSE(vo::validate(inst, bad).valid);
+}
+
+TEST(Validator, RejectsDataForComputedTask) {
+    const auto inst = tiny_instance();
+    auto sched = tiny_schedule();
+    sched.actions[0][4].recv = 0; // task 0 already done by slot 4
+    const auto res = vo::validate(inst, sched);
+    EXPECT_FALSE(res.valid);
+    EXPECT_NE(res.error.find("already-completed"), std::string::npos);
+}
+
+TEST(TwoStateReduction, RemovesAllDownStates) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1, 2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 8;
+    inst.states = vo::states_from_strings({"uudduuuu", "uuuuuuud"});
+    const auto reduced = vo::two_state_reduction(inst);
+    EXPECT_TRUE(reduced.validate().empty());
+    for (const auto& row : reduced.states)
+        for (const auto s : row) EXPECT_NE(s, ProcState::Down);
+    // P0 splits into two segments; P1's trailing DOWN yields one segment.
+    EXPECT_EQ(reduced.num_procs(), 3);
+    // Speeds carried over per segment.
+    EXPECT_EQ(reduced.platform.w[0], 1);
+    EXPECT_EQ(reduced.platform.w[1], 1);
+    EXPECT_EQ(reduced.platform.w[2], 2);
+}
+
+TEST(TwoStateReduction, PreservesUpSlots) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {3};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 6;
+    inst.states = vo::states_from_strings({"ududdu"});
+    const auto reduced = vo::two_state_reduction(inst);
+    std::size_t up_in = 0, up_out = 0;
+    for (const auto s : inst.states[0]) up_in += (s == ProcState::Up);
+    for (const auto& row : reduced.states)
+        for (const auto s : row) up_out += (s == ProcState::Up);
+    EXPECT_EQ(up_in, up_out);
+}
+
+TEST(TwoStateReduction, AllDownProcessorYieldsPlaceholder) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 4;
+    inst.states = vo::states_from_strings({"dddd"});
+    const auto reduced = vo::two_state_reduction(inst);
+    EXPECT_TRUE(reduced.validate().empty());
+    EXPECT_GE(reduced.num_procs(), 1);
+}
+
+TEST(StatesFromStrings, RejectsRaggedAndGarbage) {
+    EXPECT_THROW(vo::states_from_strings({"uu", "u"}), std::invalid_argument);
+    EXPECT_THROW(vo::states_from_strings({"ux"}), std::invalid_argument);
+}

@@ -1,0 +1,46 @@
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vs = volsched::sim;
+
+TEST(Platform, HomogeneousFactory) {
+    const auto pf = vs::Platform::homogeneous(4, 3, 2, 5, 1);
+    EXPECT_EQ(pf.size(), 4);
+    for (int w : pf.w) EXPECT_EQ(w, 3);
+    EXPECT_EQ(pf.ncom, 2);
+    EXPECT_EQ(pf.t_prog, 5);
+    EXPECT_EQ(pf.t_data, 1);
+    EXPECT_TRUE(pf.validate().empty());
+}
+
+TEST(Platform, ValidateCatchesEmpty) {
+    vs::Platform pf;
+    EXPECT_FALSE(pf.validate().empty());
+}
+
+TEST(Platform, ValidateCatchesNonPositiveSpeed) {
+    auto pf = vs::Platform::homogeneous(2, 1, 1, 1, 1);
+    pf.w[1] = 0;
+    EXPECT_FALSE(pf.validate().empty());
+    pf.w[1] = -3;
+    EXPECT_FALSE(pf.validate().empty());
+}
+
+TEST(Platform, ValidateCatchesBadNcom) {
+    auto pf = vs::Platform::homogeneous(2, 1, 0, 1, 1);
+    EXPECT_FALSE(pf.validate().empty());
+}
+
+TEST(Platform, ValidateCatchesNegativeTransferTimes) {
+    auto pf = vs::Platform::homogeneous(2, 1, 1, -1, 1);
+    EXPECT_FALSE(pf.validate().empty());
+    pf = vs::Platform::homogeneous(2, 1, 1, 1, -1);
+    EXPECT_FALSE(pf.validate().empty());
+}
+
+TEST(Platform, ZeroTransferTimesAreAllowed) {
+    // Tdata = 0 is used by the 3SAT reduction (Section 4).
+    const auto pf = vs::Platform::homogeneous(2, 1, 1, 0, 0);
+    EXPECT_TRUE(pf.validate().empty());
+}

@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vu = volsched::util;
+
+TEST(Rng, SameSeedSameStream) {
+    vu::Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    vu::Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a() == b()) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    vu::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    vu::Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(2.5, 3.5);
+        EXPECT_GE(u, 2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+    vu::Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysInClosedRange) {
+    vu::Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniform_int(3, 9);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+    vu::Rng rng(15);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+    vu::Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+    vu::Rng rng(19);
+    std::array<int, 10> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 9)];
+    for (int c : counts) EXPECT_NEAR(c, n / 10.0, 5 * std::sqrt(n / 10.0));
+}
+
+TEST(Rng, BernoulliEdges) {
+    vu::Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency) {
+    vu::Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+    vu::Rng rng(25);
+    const double w[3] = {1.0, 2.0, 7.0};
+    std::array<int, 3> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w, 3)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+    vu::Rng rng(27);
+    const double w[3] = {0.0, 0.0, 0.0};
+    EXPECT_EQ(rng.weighted_index(w, 3), 3u);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+    vu::Rng rng(29);
+    const double w[4] = {0.0, 1.0, 0.0, 1.0};
+    for (int i = 0; i < 1000; ++i) {
+        const auto idx = rng.weighted_index(w, 4);
+        EXPECT_TRUE(idx == 1 || idx == 3);
+    }
+}
+
+TEST(Rng, MixSeedSensitivity) {
+    // Changing any argument changes the derived seed.
+    const auto base = vu::mix_seed(1, 2, 3, 4);
+    EXPECT_NE(base, vu::mix_seed(2, 2, 3, 4));
+    EXPECT_NE(base, vu::mix_seed(1, 3, 3, 4));
+    EXPECT_NE(base, vu::mix_seed(1, 2, 4, 4));
+    EXPECT_NE(base, vu::mix_seed(1, 2, 3, 5));
+}
+
+TEST(Rng, MixSeedDeterministic) {
+    EXPECT_EQ(vu::mix_seed(10, 20), vu::mix_seed(10, 20));
+}
+
+TEST(Rng, JumpProducesDisjointStreams) {
+    vu::Rng a(31);
+    vu::Rng b = a;
+    b.jump();
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a() == b()) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+    vu::SplitMix64 a(0), b(1);
+    EXPECT_NE(a.next(), b.next());
+}

@@ -1,0 +1,133 @@
+/// Tests of the automated reproduction verdicts: hand-built sweep results
+/// with known orderings must produce the expected PASS/FAIL pattern, and a
+/// real (small) sweep must reproduce the paper's Table 2 shape.
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "exp/shape.hpp"
+#include "exp/sweep.hpp"
+
+namespace ve = volsched::exp;
+namespace vc = volsched::core;
+
+namespace {
+
+/// Builds a SweepResult whose single instance fixes the dfb ordering: the
+/// heuristic at rank k gets makespan base + k * step.
+ve::SweepResult synthetic_result(const std::vector<std::string>& names,
+                                 const std::vector<int>& ranks) {
+    ve::SweepResult result(names);
+    std::vector<long long> makespans;
+    for (int r : ranks) makespans.push_back(100 + 10LL * r);
+    result.overall.add_instance(makespans);
+    return result;
+}
+
+} // namespace
+
+TEST(ShapeTable2, PassesOnPaperOrdering) {
+    const auto& names = vc::all_heuristic_names();
+    // Factory order is the paper's Table 2 order: rank = position.
+    std::vector<int> ranks;
+    for (std::size_t h = 0; h < names.size(); ++h)
+        ranks.push_back(static_cast<int>(h));
+    const auto result = synthetic_result(names, ranks);
+    const auto checks = ve::check_table2_shape(result);
+    EXPECT_TRUE(ve::all_passed(checks)) << ve::render_checks(checks);
+    EXPECT_EQ(checks.size(), 9u);
+}
+
+TEST(ShapeTable2, FailsWhenRandomBeatsGreedy) {
+    const auto& names = vc::all_heuristic_names();
+    std::vector<int> ranks;
+    for (std::size_t h = 0; h < names.size(); ++h)
+        ranks.push_back(static_cast<int>(h));
+    // Make plain "random" (last) the overall winner.
+    ranks.back() = -5;
+    const auto result = synthetic_result(names, ranks);
+    const auto checks = ve::check_table2_shape(result);
+    EXPECT_FALSE(ve::all_passed(checks));
+}
+
+TEST(ShapeTable2, ThrowsOnWrongHeuristicSet) {
+    const auto result = synthetic_result({"mct", "emct"}, {0, 1});
+    EXPECT_THROW(ve::check_table2_shape(result), std::invalid_argument);
+}
+
+TEST(ShapeTable3, DistinguishesTheTwoRegimes) {
+    const auto& names = vc::greedy_heuristic_names();
+    // x5: emct best; x10: ud best with plain mct collapsing.
+    // names order: mct, mct*, emct, emct*, lw, lw*, ud, ud*.
+    const auto x5 = synthetic_result(names, {4, 3, 0, 1, 6, 5, 8, 7});
+    const auto x10 = synthetic_result(names, {30, 8, 3, 3, 4, 4, 0, 1});
+    const auto checks = ve::check_table3_shape(x5, x10);
+    EXPECT_TRUE(ve::all_passed(checks)) << ve::render_checks(checks);
+
+    // Reversed regimes must fail.
+    const auto bad = ve::check_table3_shape(x10, x5);
+    EXPECT_FALSE(ve::all_passed(bad));
+}
+
+TEST(ShapeRender, MentionsEveryCheck) {
+    const auto& names = vc::greedy_heuristic_names();
+    const auto x5 = synthetic_result(names, {4, 3, 0, 1, 6, 5, 8, 7});
+    const auto x10 = synthetic_result(names, {30, 8, 3, 3, 4, 4, 0, 1});
+    const auto checks = ve::check_table3_shape(x5, x10);
+    const auto text = ve::render_checks(checks);
+    std::size_t lines = 0;
+    for (char c : text) lines += (c == '\n');
+    EXPECT_EQ(lines, checks.size());
+    EXPECT_NE(text.find("[PASS]"), std::string::npos);
+}
+
+TEST(ShapeFigure2, DetectsCrossoverAndTrends) {
+    const std::vector<std::string> names = {"mct",  "mct*", "emct",
+                                            "emct*", "ud*",  "lw*"};
+    ve::SweepResult result(names);
+    // wmin=1: mct best, ud*/lw* terrible; wmin=9: emct best, ud*/lw* good.
+    auto add = [&](int wmin, std::vector<long long> ms) {
+        auto [it, ok] = result.by_wmin.try_emplace(wmin, names.size());
+        it->second.add_instance(ms);
+        result.overall.add_instance(ms);
+    };
+    add(1, {100, 101, 110, 111, 180, 200});
+    add(5, {108, 108, 100, 100, 120, 130});
+    add(9, {115, 115, 100, 100, 105, 108});
+    const auto checks = ve::check_figure2_shape(result);
+    EXPECT_TRUE(ve::all_passed(checks)) << ve::render_checks(checks);
+}
+
+TEST(ShapeFigure2, FailsWithoutCrossover) {
+    const std::vector<std::string> names = {"mct",  "mct*", "emct",
+                                            "emct*", "ud*",  "lw*"};
+    ve::SweepResult result(names);
+    auto add = [&](int wmin, std::vector<long long> ms) {
+        auto [it, ok] = result.by_wmin.try_emplace(wmin, names.size());
+        it->second.add_instance(ms);
+    };
+    // MCT always wins: no crossover, EMCT never below.
+    add(1, {100, 100, 120, 120, 150, 150});
+    add(9, {100, 100, 120, 120, 150, 160});
+    const auto checks = ve::check_figure2_shape(result);
+    EXPECT_FALSE(ve::all_passed(checks));
+}
+
+TEST(ShapeEndToEnd, SmallRealSweepReproducesTable2Shape) {
+    // A modest but real sweep.  The wmin values must span the grid the way
+    // the paper's does (1..10): the "MCT < UD" ordering only holds when
+    // low-wmin cells — where UD's coarse crash estimate misleads it — are
+    // part of the average (cf. Figure 2).
+    ve::SweepConfig cfg;
+    cfg.tasks_values = {5, 10};
+    cfg.ncom_values = {5};
+    cfg.wmin_values = {1, 5, 9};
+    cfg.scenarios_per_cell = 3;
+    cfg.trials_per_scenario = 2;
+    cfg.p = 12;
+    cfg.run.iterations = 5;
+    cfg.master_seed = 20110516;
+    const auto result = ve::run_sweep(cfg, vc::all_heuristic_names());
+    const auto checks = ve::check_table2_shape(result);
+    EXPECT_TRUE(ve::all_passed(checks)) << ve::render_checks(checks);
+}

@@ -1,0 +1,149 @@
+/// Tests for the sojourn-distribution abstraction (Weibull + lognormal),
+/// the lognormal desktop-grid parameterization, the sweep per-dimension
+/// breakdowns, and the offline schedule renderer.
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.hpp"
+#include "offline/mct.hpp"
+#include "offline/render.hpp"
+#include "trace/replay.hpp"
+#include "trace/semi_markov.hpp"
+#include "trace/sojourn.hpp"
+#include "util/rng.hpp"
+
+namespace vt = volsched::trace;
+namespace vo = volsched::offline;
+namespace ve = volsched::exp;
+
+TEST(Sojourn, WeibullMeanMatchesFormula) {
+    const auto d = vt::SojournDist::weibull_with_mean(0.7, 120.0);
+    EXPECT_NEAR(d.mean(), 120.0, 1e-9);
+    volsched::util::Rng rng(1);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample_slots(rng));
+    EXPECT_NEAR(sum / n, 120.5, 2.0); // +~0.5 ceil bias
+}
+
+TEST(Sojourn, LogNormalMeanMatchesFormula) {
+    const auto d = vt::SojournDist::lognormal_with_mean(1.0, 80.0);
+    EXPECT_NEAR(d.mean(), 80.0, 1e-9);
+    volsched::util::Rng rng(2);
+    double sum = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample_slots(rng));
+    EXPECT_NEAR(sum / n, 80.5, 2.5);
+}
+
+TEST(Sojourn, SamplesArePositive) {
+    for (const auto d : {vt::SojournDist::weibull_with_mean(0.5, 3.0),
+                         vt::SojournDist::lognormal_with_mean(2.0, 3.0)}) {
+        volsched::util::Rng rng(3);
+        for (int i = 0; i < 2000; ++i) EXPECT_GE(d.sample_slots(rng), 1);
+    }
+}
+
+TEST(Sojourn, LogNormalIsHeavierTailedThanItsMedian) {
+    // For lognormal, mean > median; most samples fall below the mean.
+    const auto d = vt::SojournDist::lognormal_with_mean(1.5, 100.0);
+    volsched::util::Rng rng(4);
+    int below = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) below += (d.sample_slots(rng) < 100);
+    EXPECT_GT(below, n / 2);
+}
+
+TEST(Sojourn, RejectsBadParameters) {
+    EXPECT_THROW(vt::SojournDist::weibull_with_mean(0.0, 5.0),
+                 std::invalid_argument);
+    EXPECT_THROW(vt::SojournDist::lognormal_with_mean(1.0, -5.0),
+                 std::invalid_argument);
+    vt::SojournDist bad;
+    bad.scale = 0.0;
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(Sojourn, LegacyWeibullWrapperMatchesDist) {
+    vt::Weibull w{0.9, 40.0};
+    volsched::util::Rng r1(5), r2(5);
+    const auto d = w.dist();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(w.sample_slots(r1), d.sample_slots(r2));
+}
+
+TEST(LogNormalFleet, ParamsValidAndRunnable) {
+    const auto params = vt::desktop_grid_params_lognormal(60.0);
+    EXPECT_TRUE(params.valid());
+    EXPECT_THROW(vt::desktop_grid_params_lognormal(0.1),
+                 std::invalid_argument);
+    vt::SemiMarkovAvailability model(params);
+    volsched::util::Rng rng(6);
+    auto s = model.initial_state(rng);
+    std::array<long long, 3> counts{};
+    for (int t = 0; t < 100000; ++t) {
+        s = model.next_state(s, rng);
+        ++counts[static_cast<int>(s)];
+    }
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[2]);
+    EXPECT_TRUE(model.equivalent_markov_matrix().validate(1e-9).empty());
+}
+
+TEST(SweepBreakdowns, PartitionsMatchOverall) {
+    ve::SweepConfig cfg;
+    cfg.tasks_values = {3, 6};
+    cfg.ncom_values = {2, 4};
+    cfg.wmin_values = {1};
+    cfg.scenarios_per_cell = 1;
+    cfg.trials_per_scenario = 2;
+    cfg.p = 5;
+    cfg.run.iterations = 2;
+    cfg.master_seed = 11;
+    const auto result = ve::run_sweep(cfg, {"mct", "emct"});
+    ASSERT_EQ(result.by_tasks.size(), 2u);
+    ASSERT_EQ(result.by_ncom.size(), 2u);
+    long long tasks_total = 0, ncom_total = 0;
+    for (const auto& [k, t] : result.by_tasks) tasks_total += t.instances();
+    for (const auto& [k, t] : result.by_ncom) ncom_total += t.instances();
+    EXPECT_EQ(tasks_total, result.overall.instances());
+    EXPECT_EQ(ncom_total, result.overall.instances());
+    // Each tasks-cell holds exactly half the instances.
+    for (const auto& [k, t] : result.by_tasks)
+        EXPECT_EQ(t.instances(), result.overall.instances() / 2);
+}
+
+TEST(OfflineRender, ShowsPipelinePhases) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {2};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 2;
+    inst.horizon = 8;
+    inst.states = vo::states_from_strings({"uuuuuuur"});
+    const auto mct = vo::mct_offline(inst);
+    ASSERT_TRUE(mct.feasible);
+    const auto text = vo::render_schedule(inst, mct.schedule);
+    // prog 0, data0 1, compute+data1 2, compute 3, compute1 4-5, idle, r.
+    EXPECT_NE(text.find("P0"), std::string::npos);
+    EXPECT_NE(text.find('|'), std::string::npos);
+    EXPECT_NE(text.find('P'), std::string::npos);
+    EXPECT_NE(text.find('B'), std::string::npos);
+    EXPECT_NE(text.find('C'), std::string::npos);
+    EXPECT_NE(text.find('r'), std::string::npos);
+}
+
+TEST(OfflineRender, MarksDownSlots) {
+    vo::OfflineInstance inst;
+    inst.platform.w = {1};
+    inst.platform.ncom = 1;
+    inst.platform.t_prog = 1;
+    inst.platform.t_data = 1;
+    inst.num_tasks = 1;
+    inst.horizon = 4;
+    inst.states = vo::states_from_strings({"udud"});
+    const auto text = vo::render_schedule(inst, vo::Schedule::idle(inst));
+    EXPECT_NE(text.find('d'), std::string::npos);
+    EXPECT_NE(text.find('.'), std::string::npos);
+}

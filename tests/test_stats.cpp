@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vu = volsched::util;
+
+TEST(Accumulator, EmptyIsAllZero) {
+    vu::Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+    EXPECT_EQ(acc.sem(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+    vu::Accumulator acc;
+    acc.add(4.5);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 4.5);
+    EXPECT_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 4.5);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.5);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+    vu::Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    // Sample variance of the classic dataset: 32 / 7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.sum(), 40.0, 1e-9);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+    vu::Rng rng(77);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(-5, 17));
+
+    vu::Accumulator whole;
+    for (double x : xs) whole.add(x);
+
+    vu::Accumulator a, b;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        (i < 300 ? a : b).add(xs[i]);
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+    vu::Accumulator a, b;
+    a.add(1.0);
+    a.add(3.0);
+    vu::Accumulator a2 = a;
+    a2.merge(b); // empty rhs
+    EXPECT_EQ(a2.count(), 2u);
+    EXPECT_DOUBLE_EQ(a2.mean(), 2.0);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, EmptyInput) {
+    const auto s = vu::summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, OrderStatistics) {
+    const std::vector<double> xs = {5, 1, 4, 2, 3};
+    const auto s = vu::summarize(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.p25, 2.0);
+    EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+    const std::vector<double> xs = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, 0.25), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQuantiles) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(vu::percentile_sorted(xs, 1.5), 3.0);
+}
+
+TEST(Ci95, GrowsWithSpreadShrinksWithCount) {
+    vu::Accumulator narrow, wide;
+    vu::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        narrow.add(rng.uniform(0, 1));
+        wide.add(rng.uniform(0, 10));
+    }
+    EXPECT_LT(vu::ci95_halfwidth(narrow), vu::ci95_halfwidth(wide));
+
+    vu::Accumulator few;
+    for (int i = 0; i < 10; ++i) few.add(rng.uniform(0, 1));
+    EXPECT_GT(vu::ci95_halfwidth(few), vu::ci95_halfwidth(narrow));
+}
+
+// Property sweep: merging K shards equals sequential accumulation for a
+// range of shard counts.
+class MergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeProperty, ShardedMergeEqualsSequential) {
+    const int shards = GetParam();
+    vu::Rng rng(1000 + shards);
+    std::vector<double> xs;
+    for (int i = 0; i < 567; ++i) xs.push_back(rng.uniform(-3, 3));
+
+    vu::Accumulator whole;
+    for (double x : xs) whole.add(x);
+
+    std::vector<vu::Accumulator> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        parts[i % shards].add(xs[i]);
+    vu::Accumulator merged;
+    for (const auto& p : parts) merged.merge(p);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, MergeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 32));

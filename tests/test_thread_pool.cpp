@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vu = volsched::util;
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+    vu::ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+    vu::ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+    vu::ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([i] {
+            if (i == 3) throw std::runtime_error("boom");
+        });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+    vu::ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+    vu::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait_idle();
+    // One worker: strict FIFO execution.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+    vu::ThreadPool pool(2);
+    pool.wait_idle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, LargeReductionIsCorrect) {
+    vu::ThreadPool pool(4);
+    std::vector<long long> partial(1000, 0);
+    pool.parallel_for(partial.size(), [&partial](std::size_t i) {
+        partial[i] = static_cast<long long>(i) * i;
+    });
+    const long long total =
+        std::accumulate(partial.begin(), partial.end(), 0LL);
+    long long expect = 0;
+    for (long long i = 0; i < 1000; ++i) expect += i * i;
+    EXPECT_EQ(total, expect);
+}

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "markov/gen.hpp"
+#include "trace/empirical.hpp"
+#include "trace/replay.hpp"
+#include "trace/semi_markov.hpp"
+#include "util/rng.hpp"
+
+namespace vt = volsched::trace;
+namespace vm = volsched::markov;
+using vm::ProcState;
+
+TEST(Weibull, SamplesArePositive) {
+    vt::Weibull w{0.7, 50.0};
+    volsched::util::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(w.sample_slots(rng), 1);
+}
+
+TEST(Weibull, MeanApproximatesScaleGamma) {
+    const double shape = 2.0, scale = 30.0;
+    vt::Weibull w{shape, scale};
+    volsched::util::Rng rng(2);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(w.sample_slots(rng));
+    const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+    // Ceil-rounding to slots adds up to ~0.5 of bias.
+    EXPECT_NEAR(sum / n, expected + 0.5, 0.5);
+}
+
+TEST(SemiMarkovParams, DesktopGridDefaultsAreValid) {
+    EXPECT_TRUE(vt::desktop_grid_params(100.0).valid());
+    EXPECT_THROW(vt::desktop_grid_params(0.5), std::invalid_argument);
+}
+
+TEST(SemiMarkovParams, RejectsBadJumpRows) {
+    auto p = vt::desktop_grid_params(50.0);
+    p.jump[0] = {0.5, 0.5, 0.5};
+    EXPECT_FALSE(p.valid());
+    p = vt::desktop_grid_params(50.0);
+    p.jump[1][1] = 0.1; // non-zero diagonal
+    EXPECT_FALSE(p.valid());
+}
+
+TEST(SemiMarkov, StartsUp) {
+    vt::SemiMarkovAvailability model(vt::desktop_grid_params(40.0));
+    volsched::util::Rng rng(3);
+    EXPECT_EQ(model.initial_state(rng), ProcState::Up);
+}
+
+TEST(SemiMarkov, ProducesAllThreeStates) {
+    vt::SemiMarkovAvailability model(vt::desktop_grid_params(20.0));
+    volsched::util::Rng rng(4);
+    std::array<long long, 3> counts{};
+    ProcState s = model.initial_state(rng);
+    for (int t = 0; t < 200000; ++t) {
+        s = model.next_state(s, rng);
+        ++counts[static_cast<int>(s)];
+    }
+    EXPECT_GT(counts[0], 0);
+    EXPECT_GT(counts[1], 0);
+    EXPECT_GT(counts[2], 0);
+    // UP dominates: mean UP sojourn is 4x RECLAIMED and 2x DOWN.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[2]);
+}
+
+TEST(SemiMarkov, EquivalentMarkovMatrixIsStochastic) {
+    vt::SemiMarkovAvailability model(vt::desktop_grid_params(30.0));
+    EXPECT_TRUE(model.equivalent_markov_matrix().validate(1e-9).empty());
+}
+
+TEST(Record, ProducesRequestedLength) {
+    volsched::util::Rng gen(5);
+    vm::MarkovAvailability proto(vm::generate_chain(gen));
+    volsched::util::Rng rng(6);
+    const auto trace = vt::record(proto, 500, rng);
+    EXPECT_EQ(trace.length(), 500u);
+    EXPECT_EQ(trace.states[0], ProcState::Up);
+}
+
+TEST(Record, ZeroSlotsGivesEmptyTrace) {
+    volsched::util::Rng gen(7);
+    vm::MarkovAvailability proto(vm::generate_chain(gen));
+    volsched::util::Rng rng(8);
+    EXPECT_EQ(vt::record(proto, 0, rng).length(), 0u);
+}
+
+TEST(TraceIo, RoundTripsThroughText) {
+    volsched::util::Rng gen(9), rng(10);
+    vm::MarkovAvailability proto(vm::generate_chain(gen));
+    std::vector<vt::RecordedTrace> traces;
+    traces.push_back(vt::record(proto, 100, rng));
+    traces.push_back(vt::record(proto, 100, rng));
+
+    std::stringstream ss;
+    vt::write_traces(ss, traces);
+    const auto parsed = vt::read_traces(ss);
+    ASSERT_EQ(parsed.size(), 2u);
+    for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(parsed[i].states, traces[i].states);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+    std::stringstream ss("uurzx\n");
+    EXPECT_THROW(vt::read_traces(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+    std::stringstream ss("# comment\n\nuur\n");
+    const auto parsed = vt::read_traces(ss);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].length(), 3u);
+}
+
+TEST(Replay, ReplaysExactSequence) {
+    vt::RecordedTrace tr;
+    tr.states = {ProcState::Up, ProcState::Reclaimed, ProcState::Down,
+                 ProcState::Up};
+    vt::ReplayAvailability model(tr, vt::ReplayAvailability::EndPolicy::Loop);
+    volsched::util::Rng rng(11);
+    EXPECT_EQ(model.initial_state(rng), ProcState::Up);
+    EXPECT_EQ(model.next_state(ProcState::Up, rng), ProcState::Reclaimed);
+    EXPECT_EQ(model.next_state(ProcState::Reclaimed, rng), ProcState::Down);
+    EXPECT_EQ(model.next_state(ProcState::Down, rng), ProcState::Up);
+    // Loop policy wraps to the beginning.
+    EXPECT_EQ(model.next_state(ProcState::Up, rng), ProcState::Up);
+}
+
+TEST(Replay, HoldLastPolicySticks) {
+    vt::RecordedTrace tr;
+    tr.states = {ProcState::Up, ProcState::Reclaimed};
+    vt::ReplayAvailability model(tr,
+                                 vt::ReplayAvailability::EndPolicy::HoldLast);
+    volsched::util::Rng rng(12);
+    EXPECT_EQ(model.initial_state(rng), ProcState::Up);
+    EXPECT_EQ(model.next_state(ProcState::Up, rng), ProcState::Reclaimed);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(model.next_state(ProcState::Reclaimed, rng),
+                  ProcState::Reclaimed);
+}
+
+TEST(Replay, RejectsEmptyTrace) {
+    EXPECT_THROW(vt::ReplayAvailability(vt::RecordedTrace{}),
+                 std::invalid_argument);
+}
+
+TEST(Replay, CloneRestartsFromBeginning) {
+    vt::RecordedTrace tr;
+    tr.states = {ProcState::Up, ProcState::Down};
+    vt::ReplayAvailability model(tr);
+    volsched::util::Rng rng(13);
+    model.initial_state(rng);
+    model.next_state(ProcState::Up, rng);
+    const auto clone = model.clone();
+    EXPECT_EQ(clone->initial_state(rng), ProcState::Up);
+}
+
+TEST(Analyze, CountsOccupancyAndRuns) {
+    vt::RecordedTrace tr;
+    // u u r r r d u  -> occupancy u:3/7, r:3/7, d:1/7
+    for (char c : std::string("uurrrdu"))
+        tr.states.push_back(vm::state_from_code(c));
+    const auto st = vt::analyze(tr);
+    EXPECT_EQ(st.slots, 7u);
+    EXPECT_NEAR(st.occupancy[0], 3.0 / 7.0, 1e-12);
+    EXPECT_NEAR(st.occupancy[1], 3.0 / 7.0, 1e-12);
+    EXPECT_NEAR(st.occupancy[2], 1.0 / 7.0, 1e-12);
+    EXPECT_EQ(st.intervals[0], 2u); // "uu" and "u"
+    EXPECT_EQ(st.intervals[1], 1u);
+    EXPECT_EQ(st.intervals[2], 1u);
+    EXPECT_NEAR(st.mean_interval[0], 1.5, 1e-12);
+    EXPECT_NEAR(st.mean_interval[1], 3.0, 1e-12);
+}
+
+TEST(Analyze, EmptyTrace) {
+    const auto st = vt::analyze(vt::RecordedTrace{});
+    EXPECT_EQ(st.slots, 0u);
+}
+
+TEST(FitMarkov, RecoversGeneratingChain) {
+    volsched::util::Rng gen(14);
+    const auto chain = vm::generate_chain(gen);
+    vm::MarkovAvailability proto(chain);
+    volsched::util::Rng rng(15);
+    std::vector<vt::RecordedTrace> traces;
+    for (int i = 0; i < 4; ++i)
+        traces.push_back(vt::record(proto, 200000, rng));
+    const auto fitted = vt::fit_markov(traces);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(fitted(static_cast<ProcState>(i),
+                               static_cast<ProcState>(j)),
+                        chain.matrix()(static_cast<ProcState>(i),
+                                       static_cast<ProcState>(j)),
+                        0.01);
+}
+
+TEST(FitMarkov, ThrowsOnEmptyInput) {
+    EXPECT_THROW(vt::fit_markov({}), std::invalid_argument);
+    std::vector<vt::RecordedTrace> one_slot(1);
+    one_slot[0].states = {ProcState::Up};
+    EXPECT_THROW(vt::fit_markov(one_slot), std::invalid_argument);
+}
+
+TEST(FitMarkov, FittedMatrixIsValid) {
+    volsched::util::Rng gen(16), rng(17);
+    vt::SemiMarkovAvailability proto(vt::desktop_grid_params(25.0));
+    std::vector<vt::RecordedTrace> traces{vt::record(proto, 50000, rng)};
+    EXPECT_TRUE(vt::fit_markov(traces).validate(1e-9).empty());
+}

@@ -1,0 +1,113 @@
+#include "markov/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "markov/gen.hpp"
+#include "util/rng.hpp"
+
+namespace vm = volsched::markov;
+using vm::ProcState;
+
+namespace {
+
+vm::TransitionMatrix sample_matrix() {
+    return vm::TransitionMatrix({{{0.90, 0.06, 0.04},
+                                  {0.20, 0.70, 0.10},
+                                  {0.50, 0.10, 0.40}}});
+}
+
+} // namespace
+
+TEST(Transition, DefaultIsIdentity) {
+    vm::TransitionMatrix id;
+    EXPECT_TRUE(id.validate().empty());
+    EXPECT_DOUBLE_EQ(id.p_uu(), 1.0);
+    EXPECT_DOUBLE_EQ(id.p_ur(), 0.0);
+    EXPECT_DOUBLE_EQ(id.p_dd(), 1.0);
+}
+
+TEST(Transition, AccessorsMatchEntries) {
+    const auto m = sample_matrix();
+    EXPECT_DOUBLE_EQ(m.p_uu(), 0.90);
+    EXPECT_DOUBLE_EQ(m.p_ur(), 0.06);
+    EXPECT_DOUBLE_EQ(m.p_ud(), 0.04);
+    EXPECT_DOUBLE_EQ(m.p_ru(), 0.20);
+    EXPECT_DOUBLE_EQ(m.p_rr(), 0.70);
+    EXPECT_DOUBLE_EQ(m.p_rd(), 0.10);
+    EXPECT_DOUBLE_EQ(m.p_du(), 0.50);
+    EXPECT_DOUBLE_EQ(m.p_dr(), 0.10);
+    EXPECT_DOUBLE_EQ(m.p_dd(), 0.40);
+}
+
+TEST(Transition, ValidateAcceptsStochastic) {
+    EXPECT_TRUE(sample_matrix().validate().empty());
+}
+
+TEST(Transition, ValidateRejectsBadRowSum) {
+    auto m = sample_matrix();
+    m(ProcState::Up, ProcState::Up) = 0.5; // row now sums to 0.6
+    EXPECT_FALSE(m.validate().empty());
+}
+
+TEST(Transition, ValidateRejectsNegativeEntry) {
+    vm::TransitionMatrix m({{{1.1, -0.1, 0.0},
+                             {0.0, 1.0, 0.0},
+                             {0.0, 0.0, 1.0}}});
+    EXPECT_FALSE(m.validate().empty());
+}
+
+TEST(Transition, PowerZeroIsIdentity) {
+    const auto m = sample_matrix().power(0);
+    EXPECT_DOUBLE_EQ(m.p_uu(), 1.0);
+    EXPECT_DOUBLE_EQ(m.p_ur(), 0.0);
+}
+
+TEST(Transition, PowerOneIsSelf) {
+    const auto m = sample_matrix().power(1);
+    EXPECT_DOUBLE_EQ(m.p_uu(), 0.90);
+    EXPECT_DOUBLE_EQ(m.p_rd(), 0.10);
+}
+
+TEST(Transition, PowerMatchesRepeatedMultiply) {
+    const auto m = sample_matrix();
+    auto manual = m;
+    for (int i = 1; i < 7; ++i) manual = manual.multiply(m);
+    const auto fast = m.power(7);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(fast(static_cast<ProcState>(i), static_cast<ProcState>(j)),
+                        manual(static_cast<ProcState>(i), static_cast<ProcState>(j)),
+                        1e-12);
+}
+
+TEST(Transition, PowersStayStochastic) {
+    const auto m = sample_matrix().power(50);
+    EXPECT_TRUE(m.validate(1e-9).empty());
+}
+
+TEST(Transition, ToStringMentionsEntries) {
+    const auto s = sample_matrix().to_string();
+    EXPECT_NE(s.find("0.9000"), std::string::npos);
+}
+
+// Property sweep: recipe-generated matrices are always valid and their
+// powers remain stochastic.
+class GeneratedMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedMatrix, RecipeMatrixIsValidStochastic) {
+    volsched::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const auto m = vm::generate_matrix(rng);
+    EXPECT_TRUE(m.validate().empty());
+    for (int i = 0; i < 3; ++i) {
+        const auto s = static_cast<ProcState>(i);
+        EXPECT_GE(m(s, s), 0.90);
+        EXPECT_LE(m(s, s), 0.99);
+    }
+    // Off-diagonal split evenly.
+    EXPECT_NEAR(m.p_ur(), m.p_ud(), 1e-12);
+    EXPECT_NEAR(m.p_ru(), m.p_rd(), 1e-12);
+    EXPECT_NEAR(m.p_du(), m.p_dr(), 1e-12);
+    EXPECT_TRUE(m.power(100).validate(1e-8).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedMatrix, ::testing::Range(0, 20));

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace vu = volsched::util;
+
+TEST(Csv, HeaderAndRows) {
+    std::ostringstream os;
+    vu::CsvWriter csv(os, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x", "y"});
+    EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+    EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+    std::ostringstream os;
+    vu::CsvWriter csv(os, {"v"});
+    csv.row({"has,comma"});
+    csv.row({"has\"quote"});
+    csv.row({"has\nnewline"});
+    EXPECT_EQ(os.str(),
+              "v\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+    std::ostringstream os;
+    vu::CsvWriter csv(os, {"a", "b"});
+    EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmptyHeader) {
+    std::ostringstream os;
+    EXPECT_THROW(vu::CsvWriter(os, {}), std::invalid_argument);
+}
+
+TEST(Csv, NumericCells) {
+    EXPECT_EQ(vu::CsvWriter::cell(static_cast<std::size_t>(42)), "42");
+    EXPECT_EQ(vu::CsvWriter::cell(static_cast<long long>(-7)), "-7");
+    EXPECT_EQ(vu::CsvWriter::cell(1.5), "1.5");
+}
+
+TEST(Table, RendersAlignedColumns) {
+    vu::TextTable t({"name", "value"});
+    t.align_right(1);
+    t.add_row({"alpha", "1.00"});
+    t.add_row({"b", "10.50"});
+    const std::string out = t.render("title");
+    EXPECT_NE(out.find("title\n"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Right-aligned: "1.00" must be padded to the width of "10.50".
+    EXPECT_NE(out.find(" 1.00"), std::string::npos);
+}
+
+TEST(Table, RejectsBadArityAndColumn) {
+    vu::TextTable t({"a"});
+    EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+    EXPECT_THROW(t.align_right(3), std::out_of_range);
+}
+
+TEST(Table, NumFormatsDecimals) {
+    EXPECT_EQ(vu::TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(vu::TextTable::num(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesAllForms) {
+    vu::Cli cli("prog", "test");
+    cli.add_int("count", 5, "a count");
+    cli.add_double("ratio", 0.5, "a ratio");
+    cli.add_string("mode", "fast", "a mode");
+    cli.add_flag("verbose", "chatty");
+    const char* argv[] = {"prog",    "--count", "7",         "--ratio=0.25",
+                          "--mode",  "slow",    "--verbose"};
+    ASSERT_TRUE(cli.parse(7, argv));
+    EXPECT_EQ(cli.get_int("count"), 7);
+    EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.25);
+    EXPECT_EQ(cli.get_string("mode"), "slow");
+    EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+    vu::Cli cli("prog", "test");
+    cli.add_int("count", 5, "a count");
+    cli.add_flag("verbose", "chatty");
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_int("count"), 5);
+    EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+    vu::Cli cli("prog", "test");
+    const char* argv[] = {"prog", "--nope"};
+    EXPECT_FALSE(cli.parse(2, argv));
+    EXPECT_EQ(cli.exit_code(), 2);
+}
+
+TEST(Cli, MissingValueFails) {
+    vu::Cli cli("prog", "test");
+    cli.add_int("count", 5, "a count");
+    const char* argv[] = {"prog", "--count"};
+    EXPECT_FALSE(cli.parse(2, argv));
+    EXPECT_EQ(cli.exit_code(), 2);
+}
+
+TEST(Cli, HelpStopsExecutionWithZero) {
+    vu::Cli cli("prog", "test");
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+    EXPECT_EQ(cli.exit_code(), 0);
+}
+
+TEST(Cli, HelpTextMentionsOptions) {
+    vu::Cli cli("prog", "does things");
+    cli.add_int("count", 5, "how many");
+    const std::string h = cli.help();
+    EXPECT_NE(h.find("--count"), std::string::npos);
+    EXPECT_NE(h.find("how many"), std::string::npos);
+    EXPECT_NE(h.find("does things"), std::string::npos);
+}
+
+TEST(Log, LevelFiltering) {
+    vu::set_log_level(vu::LogLevel::Warn);
+    EXPECT_EQ(vu::log_level(), vu::LogLevel::Warn);
+    vu::set_log_level(vu::LogLevel::Info);
+    EXPECT_EQ(vu::log_level(), vu::LogLevel::Info);
+}
