@@ -1,0 +1,84 @@
+#include "support/golden.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace volsched::test {
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path unique_temp_path() {
+    // Per-process random tag + per-call counter: unique across the parallel
+    // ctest processes that share the system temp directory, without any
+    // POSIX-only API.
+    static const unsigned process_tag = std::random_device{}();
+    static std::atomic<unsigned> counter{0};
+    std::ostringstream name;
+    name << "volsched-test-" << std::hex << process_tag << "-" << std::dec
+         << counter.fetch_add(1, std::memory_order_relaxed);
+    return fs::temp_directory_path() / name.str();
+}
+
+} // namespace
+
+TempDir::TempDir() : path_(unique_temp_path()) {
+    fs::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec); // best effort; never throw from a dtor
+}
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void write_file(const fs::path& p, const std::string& content) {
+    if (p.has_parent_path()) fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + p.string());
+    out << content;
+    if (!out) throw std::runtime_error("write failed for " + p.string());
+}
+
+fs::path test_data_dir() {
+#ifdef VOLSCHED_TEST_DATA_DIR
+    return fs::path(VOLSCHED_TEST_DATA_DIR);
+#else
+    return fs::path("tests") / "data";
+#endif
+}
+
+::testing::AssertionResult matches_golden(const std::string& actual,
+                                          const std::string& golden_name) {
+    const fs::path golden = test_data_dir() / golden_name;
+    const char* update = std::getenv("VOLSCHED_UPDATE_GOLDEN");
+    if (update && *update && std::string(update) != "0") {
+        write_file(golden, actual);
+        return ::testing::AssertionSuccess()
+               << "golden file " << golden.string() << " updated";
+    }
+    if (!fs::exists(golden))
+        return ::testing::AssertionFailure()
+               << "golden file " << golden.string()
+               << " missing (run with VOLSCHED_UPDATE_GOLDEN=1 to create)";
+    const std::string expected = read_file(golden);
+    if (actual == expected) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "output differs from golden " << golden.string()
+           << "\n--- expected (" << expected.size() << " bytes) ---\n"
+           << expected << "\n--- actual (" << actual.size() << " bytes) ---\n"
+           << actual;
+}
+
+} // namespace volsched::test

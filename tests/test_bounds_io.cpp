@@ -12,6 +12,7 @@
 #include "offline/bounds.hpp"
 #include "offline/exact.hpp"
 #include "sim/engine.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace vo = volsched::offline;
@@ -146,30 +147,12 @@ TEST(MarkovIo, SkipsComments) {
 
 namespace {
 
-struct MiniView {
-    vs::Platform platform;
-    std::vector<vs::ProcView> procs;
-    std::vector<vm::MarkovChain> chains;
-    vs::SchedView view;
-
-    MiniView(std::vector<vm::MarkovChain> cs) : chains(std::move(cs)) {
-        const int p = static_cast<int>(chains.size());
-        platform.w.assign(static_cast<std::size_t>(p), 3);
-        platform.ncom = 2;
-        platform.t_prog = 5;
-        platform.t_data = 1;
-        procs.resize(static_cast<std::size_t>(p));
-        for (int q = 0; q < p; ++q) {
-            procs[q].state = vm::ProcState::Up;
-            procs[q].has_program = true;
-            procs[q].buffer_free = true;
-            procs[q].w = 3;
-            procs[q].delay = 0;
-            procs[q].belief = &chains[q];
-        }
-        view.platform = &platform;
-        view.procs = procs;
-        view.remaining_tasks = 1;
+/// ViewFixture with the extension-test platform shape (w=3) and the view
+/// pre-finalized, matching the historical MiniView helper.
+struct MiniView : volsched::test::ViewFixture {
+    explicit MiniView(std::vector<vm::MarkovChain> cs)
+        : volsched::test::ViewFixture(std::move(cs), /*w=*/3) {
+        finalize();
     }
 };
 

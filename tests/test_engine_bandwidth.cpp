@@ -156,7 +156,9 @@ TEST_P(ReductionPreservesOptimum, ExactOptimaMatch) {
     ASSERT_TRUE(a.proven);
     ASSERT_TRUE(b.proven);
     EXPECT_EQ(a.feasible, b.feasible) << "seed " << GetParam();
-    if (a.feasible) EXPECT_EQ(a.makespan, b.makespan) << "seed " << GetParam();
+    if (a.feasible) {
+        EXPECT_EQ(a.makespan, b.makespan) << "seed " << GetParam();
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPreservesOptimum,

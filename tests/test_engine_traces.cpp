@@ -7,40 +7,19 @@
 #include "core/factory.hpp"
 #include "markov/gen.hpp"
 #include "sim/engine.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace vs = volsched::sim;
 namespace vm = volsched::markov;
 namespace vc = volsched::core;
 
+using volsched::test::recipe_setup;
+
 namespace {
 
-struct Setup {
-    vs::Platform platform;
-    std::vector<vm::MarkovChain> chains;
-};
-
-Setup recipe_setup(int p, int ncom, int wmin, std::uint64_t seed) {
-    Setup s;
-    volsched::util::Rng rng(seed);
-    s.platform.ncom = ncom;
-    s.platform.t_data = wmin;
-    s.platform.t_prog = 5 * wmin;
-    for (int q = 0; q < p; ++q)
-        s.platform.w.push_back(static_cast<int>(
-            rng.uniform_int(wmin, static_cast<std::uint64_t>(10) * wmin)));
-    s.chains = vm::generate_chains(static_cast<std::size_t>(p), rng);
-    return s;
-}
-
 vs::EngineConfig audited(int iterations, int tasks) {
-    vs::EngineConfig cfg;
-    cfg.iterations = iterations;
-    cfg.tasks_per_iteration = tasks;
-    cfg.replica_cap = 2;
-    cfg.max_slots = 2'000'000;
-    cfg.audit = true;
-    return cfg;
+    return volsched::test::audited_config(iterations, tasks);
 }
 
 } // namespace

@@ -1,0 +1,98 @@
+/// Golden-file round-trip tests for util/csv and util/table: the exact bytes
+/// these writers emit are part of the experiment-harness contract (results
+/// are diffed across campaign runs), so renders are pinned against checked-in
+/// files under tests/data/.  Regenerate with VOLSCHED_UPDATE_GOLDEN=1.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "support/golden.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace vu = volsched::util;
+namespace vt = volsched::test;
+
+namespace {
+
+/// The CSV every heuristic-sweep campaign writes: heuristic, cell
+/// parameters, and summary statistics — including cells that need RFC-4180
+/// quoting.
+std::string sample_csv() {
+    std::ostringstream os;
+    vu::CsvWriter csv(os, {"heuristic", "p", "wmin", "mean_makespan", "note"});
+    csv.row({"emct*", vu::CsvWriter::cell(static_cast<std::size_t>(20)),
+             vu::CsvWriter::cell(static_cast<long long>(1)),
+             vu::CsvWriter::cell(1234.5), "baseline"});
+    csv.row({"random2w", "20", "5", vu::CsvWriter::cell(2048.25),
+             "volatile, contention-prone"});
+    csv.row({"mct", "10", "2", vu::CsvWriter::cell(0.125),
+             "says \"fast\"\nand wraps"});
+    return os.str();
+}
+
+std::string sample_table() {
+    vu::TextTable t({"heuristic", "avg dfb", "worst dfb"});
+    t.align_right(1);
+    t.align_right(2);
+    t.add_row({"emct*", vu::TextTable::num(1.04), vu::TextTable::num(1.37)});
+    t.add_row({"mct", vu::TextTable::num(1.18), vu::TextTable::num(2.5, 1)});
+    t.add_row({"random", vu::TextTable::num(3.0, 0), vu::TextTable::num(9.99)});
+    return t.render("Table 3 (excerpt)");
+}
+
+} // namespace
+
+TEST(GoldenCsv, SweepResultRenderIsStable) {
+    EXPECT_TRUE(vt::matches_golden(sample_csv(), "sweep_results.csv"));
+}
+
+TEST(GoldenCsv, RoundTripsThroughDisk) {
+    // What the writer produced must survive a disk round trip byte-for-byte
+    // (no newline translation, quoting preserved).
+    const std::string rendered = sample_csv();
+    vt::TempDir tmp;
+    const auto path = tmp.file("results.csv");
+    vt::write_file(path, rendered);
+    EXPECT_EQ(vt::read_file(path), rendered);
+}
+
+TEST(GoldenTable, PaperTableRenderIsStable) {
+    EXPECT_TRUE(vt::matches_golden(sample_table(), "table3_excerpt.txt"));
+}
+
+TEST(GoldenTable, RoundTripsThroughDisk) {
+    const std::string rendered = sample_table();
+    vt::TempDir tmp;
+    const auto path = tmp.file("table.txt");
+    vt::write_file(path, rendered);
+    EXPECT_EQ(vt::read_file(path), rendered);
+}
+
+TEST(Golden, MissingGoldenFileFailsWithHint) {
+    // Force comparison mode: under VOLSCHED_UPDATE_GOLDEN=1 the helper would
+    // otherwise create the deliberately-missing file and pass.
+    const char* saved = std::getenv("VOLSCHED_UPDATE_GOLDEN");
+    const std::string saved_value = saved ? saved : "";
+    ::unsetenv("VOLSCHED_UPDATE_GOLDEN");
+    const auto result = vt::matches_golden("x", "does_not_exist.golden");
+    if (saved) ::setenv("VOLSCHED_UPDATE_GOLDEN", saved_value.c_str(), 1);
+    EXPECT_FALSE(result);
+    EXPECT_NE(std::string(result.message()).find("VOLSCHED_UPDATE_GOLDEN"),
+              std::string::npos);
+}
+
+TEST(Golden, TempDirIsCreatedAndRemoved) {
+    std::filesystem::path kept;
+    {
+        vt::TempDir tmp;
+        kept = tmp.path();
+        EXPECT_TRUE(std::filesystem::is_directory(kept));
+        vt::write_file(tmp.file("nested/dir/file.txt"), "payload");
+        EXPECT_EQ(vt::read_file(tmp.file("nested/dir/file.txt")), "payload");
+    }
+    EXPECT_FALSE(std::filesystem::exists(kept));
+}

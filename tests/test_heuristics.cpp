@@ -7,79 +7,18 @@
 #include "core/factory.hpp"
 #include "markov/expectation.hpp"
 #include "sim/scheduler.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace vc = volsched::core;
 namespace vs = volsched::sim;
 namespace vm = volsched::markov;
 
-namespace {
-
-/// Chain that never leaves UP (P_uu = 1): reliability formulas collapse.
-vm::MarkovChain always_up_chain() {
-    return vm::MarkovChain(vm::TransitionMatrix({{{1.0, 0.0, 0.0},
-                                                  {1.0, 0.0, 0.0},
-                                                  {1.0, 0.0, 0.0}}}));
-}
-
-/// Chain with frequent RECLAIMED detours but no crashes.
-vm::MarkovChain flaky_chain(double p_ur) {
-    return vm::MarkovChain(vm::TransitionMatrix(
-        {{{1.0 - p_ur, p_ur, 0.0}, {0.5, 0.5, 0.0}, {0.0, 0.0, 1.0}}}));
-}
-
-/// Chain with a real crash probability.
-vm::MarkovChain crashy_chain(double p_ud) {
-    return vm::MarkovChain(vm::TransitionMatrix({{{1.0 - p_ud, 0.0, p_ud},
-                                                  {0.5, 0.5, 0.0},
-                                                  {1.0, 0.0, 0.0}}}));
-}
-
-struct ViewFixture {
-    vs::Platform platform;
-    std::vector<vs::ProcView> procs;
-    std::vector<vm::MarkovChain> chains;
-    vs::SchedView view;
-
-    ViewFixture(int p, int ncom, int t_prog, int t_data) {
-        platform.w.assign(static_cast<std::size_t>(p), 1);
-        platform.ncom = ncom;
-        platform.t_prog = t_prog;
-        platform.t_data = t_data;
-        procs.resize(static_cast<std::size_t>(p));
-        for (auto& pv : procs) {
-            pv.state = vm::ProcState::Up;
-            pv.has_program = true;
-            pv.buffer_free = true;
-            pv.w = 1;
-            pv.delay = 0;
-        }
-    }
-
-    /// Attach per-proc belief chains (must outlive the view).
-    void set_chains(std::vector<vm::MarkovChain> cs) {
-        chains = std::move(cs);
-        for (std::size_t q = 0; q < procs.size(); ++q)
-            procs[q].belief = &chains[q];
-    }
-
-    vs::SchedView& finalize(int nactive = 0, int remaining = 1) {
-        view.platform = &platform;
-        view.procs = procs;
-        view.slot = 0;
-        view.nactive = nactive;
-        view.remaining_tasks = remaining;
-        return view;
-    }
-};
-
-std::vector<vs::ProcId> all_procs(int p) {
-    std::vector<vs::ProcId> out(static_cast<std::size_t>(p));
-    for (int q = 0; q < p; ++q) out[q] = q;
-    return out;
-}
-
-} // namespace
+using volsched::test::ViewFixture;
+using volsched::test::all_procs;
+using volsched::test::always_up_chain;
+using volsched::test::crashy_chain;
+using volsched::test::flaky_chain;
 
 TEST(Ct, PlainMatchesEquation1) {
     ViewFixture f(2, 4, 10, 3);

@@ -79,8 +79,9 @@ TEST_P(DualityProperty, DeterministicPlatform) {
     const auto sched = volsched::core::make_scheduler("mct");
     const int achieved =
         sim.run_for_deadline(*sched, deadline).iterations_completed;
-    if (achieved > 0)
+    if (achieved > 0) {
         EXPECT_LE(sim.min_slots_for_iterations(*sched, achieved), deadline);
+    }
     const long long next =
         sim.min_slots_for_iterations(*sched, achieved + 1);
     EXPECT_TRUE(next == -1 || next > deadline);

@@ -2,7 +2,7 @@
 /// Command-line simulation driver: one run, fully parameterized, with
 /// optional event-log CSV and ASCII timeline output.
 ///
-///   volsched_sim --heuristic emct* --procs 20 --tasks 10 --iterations 10 \
+///   volsched_sim --heuristic emct* --procs 20 --tasks 10 --iterations 10
 ///                --ncom 5 --wmin 2 --seed 42 --timeline --events run.csv
 ///
 /// Availability models: "markov" (paper recipe), "weibull" and "lognormal"

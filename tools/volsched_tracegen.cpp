@@ -3,7 +3,7 @@
 /// Markov recipe or the semi-Markov fleets and writes them in the text
 /// format that trace::read_traces / examples/trace_replay consume.
 ///
-///   volsched_tracegen --model weibull --procs 20 --slots 100000 \
+///   volsched_tracegen --model weibull --procs 20 --slots 100000
 ///                     --seed 7 --out traces.txt
 
 #include <cstdio>
