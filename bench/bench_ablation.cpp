@@ -9,7 +9,6 @@
 
 #include <cstdio>
 
-#include "core/factory.hpp"
 #include "exp/dfb.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"

@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "api/experiment_builder.hpp"
 #include "exp/shape.hpp"
-#include "exp/sweep.hpp"
 #include "report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -27,20 +27,23 @@ int main(int argc, char** argv) {
     cli.add_string("csv", "", "optional CSV output path (long format)");
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
-    exp::SweepConfig cfg;
-    cfg.scenarios_per_cell =
-        cli.get_flag("full") ? 247 : static_cast<int>(cli.get_int("scenarios"));
-    cfg.trials_per_scenario =
-        cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
-    cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
-    cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    api::ExperimentBuilder experiment;
+    experiment
+        .heuristics({"mct", "mct*", "emct", "emct*", "ud*", "lw*"})
+        .scenarios_per_cell(cli.get_flag("full")
+                                ? 247
+                                : static_cast<int>(cli.get_int("scenarios")))
+        .trials(cli.get_flag("full")
+                    ? 10
+                    : static_cast<int>(cli.get_int("trials")))
+        .threads(static_cast<std::size_t>(cli.get_int("threads")))
+        .seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
-    const std::vector<std::string> heuristics = {"mct", "mct*", "emct",
-                                                 "emct*", "ud*", "lw*"};
+    const auto& heuristics = experiment.heuristic_specs();
     std::printf("bench_figure2: dfb vs wmin for %zu heuristics\n\n",
                 heuristics.size());
 
-    const auto result = exp::run_sweep(cfg, heuristics);
+    const auto result = experiment.run();
 
     std::vector<std::string> header = {"wmin"};
     for (const auto& h : heuristics) header.push_back(h);

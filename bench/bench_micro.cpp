@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/registry.hpp"
+#include "api/simulation_builder.hpp"
 #include "core/factory.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -89,8 +91,13 @@ void BM_EngineRun(benchmark::State& state) {
     vs::EngineConfig cfg;
     cfg.iterations = 10;
     cfg.tasks_per_iteration = sc.tasks;
-    const auto sim = vs::Simulation::from_chains(rs.platform, rs.chains, cfg, 9);
-    const auto sched = volsched::core::make_scheduler("emct*");
+    const auto sim = vs::Simulation::builder()
+                         .platform(rs.platform)
+                         .markov(rs.chains)
+                         .config(cfg)
+                         .seed(9)
+                         .build();
+    const auto sched = volsched::api::SchedulerRegistry::instance().make("emct*");
     long long slots = 0;
     for (auto _ : state) {
         const auto metrics = sim.run(*sched);
@@ -120,5 +127,16 @@ void BM_HeuristicSelectCost(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_HeuristicSelectCost)->Unit(benchmark::kMillisecond);
+
+void BM_RegistryResolveSpec(benchmark::State& state) {
+    // Spec-string parse + registry lookup + construction of a two-stage
+    // scheduler: the per-run overhead run_instance pays per heuristic.
+    const auto& registry = volsched::api::SchedulerRegistry::instance();
+    for (auto _ : state) {
+        const auto sched = registry.make("thr(percent=50):emct*");
+        benchmark::DoNotOptimize(sched.get());
+    }
+}
+BENCHMARK(BM_RegistryResolveSpec);
 
 } // namespace

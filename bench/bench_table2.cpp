@@ -10,9 +10,8 @@
 
 #include <cstdio>
 
-#include "core/factory.hpp"
+#include "api/experiment_builder.hpp"
 #include "exp/shape.hpp"
-#include "exp/sweep.hpp"
 #include "report.hpp"
 #include "util/cli.hpp"
 
@@ -29,15 +28,19 @@ int main(int argc, char** argv) {
     cli.add_string("csv", "", "optional CSV output path");
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
-    exp::SweepConfig cfg;
-    cfg.scenarios_per_cell =
-        cli.get_flag("full") ? 247 : static_cast<int>(cli.get_int("scenarios"));
-    cfg.trials_per_scenario =
-        cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
-    cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
-    cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    api::ExperimentBuilder experiment;
+    experiment.all_heuristics()
+        .scenarios_per_cell(cli.get_flag("full")
+                                ? 247
+                                : static_cast<int>(cli.get_int("scenarios")))
+        .trials(cli.get_flag("full")
+                    ? 10
+                    : static_cast<int>(cli.get_int("trials")))
+        .threads(static_cast<std::size_t>(cli.get_int("threads")))
+        .seed(static_cast<std::uint64_t>(cli.get_int("seed")));
 
-    const auto& heuristics = core::all_heuristic_names();
+    const exp::SweepConfig cfg = experiment.sweep_config();
+    const auto& heuristics = experiment.heuristic_specs();
     std::printf("bench_table2: %d n-values x %d ncom x %d wmin x %d scenarios"
                 " x %d trials, %zu heuristics\n\n",
                 static_cast<int>(cfg.tasks_values.size()),
@@ -46,7 +49,7 @@ int main(int argc, char** argv) {
                 cfg.scenarios_per_cell, cfg.trials_per_scenario,
                 heuristics.size());
 
-    const auto result = exp::run_sweep(cfg, heuristics);
+    const auto result = experiment.run();
     benchtool::print_dfb_table(
         "Table 2 — results over all problem instances", heuristics,
         result.overall, /*show_wins=*/true);

@@ -9,9 +9,8 @@
 
 #include <optional>
 
-#include "core/factory.hpp"
+#include "api/experiment_builder.hpp"
 #include "exp/shape.hpp"
-#include "exp/sweep.hpp"
 #include "report.hpp"
 #include "util/cli.hpp"
 
@@ -27,26 +26,29 @@ int main(int argc, char** argv) {
     cli.add_string("csv", "", "optional CSV output path prefix");
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
-    const auto& heuristics = core::greedy_heuristic_names();
     std::optional<exp::SweepResult> x5, x10;
 
     for (const double factor : {5.0, 10.0}) {
-        exp::SweepConfig cfg;
-        cfg.tasks_values = {20};
-        cfg.ncom_values = {5};
-        cfg.wmin_values = {1};
-        cfg.tdata_factor = factor;
-        cfg.tprog_factor = 5.0 * factor;
-        cfg.scenarios_per_cell = cli.get_flag("full")
-                                     ? 100
-                                     : static_cast<int>(cli.get_int("scenarios"));
-        cfg.trials_per_scenario =
-            cli.get_flag("full") ? 10 : static_cast<int>(cli.get_int("trials"));
-        cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
-        cfg.master_seed = static_cast<std::uint64_t>(cli.get_int("seed")) +
-                          static_cast<std::uint64_t>(factor);
+        api::ExperimentBuilder experiment;
+        experiment.greedy_heuristics()
+            .tasks({20})
+            .ncom({5})
+            .wmin({1})
+            .tdata_factor(factor)
+            .tprog_factor(5.0 * factor)
+            .scenarios_per_cell(
+                cli.get_flag("full")
+                    ? 100
+                    : static_cast<int>(cli.get_int("scenarios")))
+            .trials(cli.get_flag("full")
+                        ? 10
+                        : static_cast<int>(cli.get_int("trials")))
+            .threads(static_cast<std::size_t>(cli.get_int("threads")))
+            .seed(static_cast<std::uint64_t>(cli.get_int("seed")) +
+                  static_cast<std::uint64_t>(factor));
 
-        auto result = exp::run_sweep(cfg, heuristics);
+        auto result = experiment.run();
+        const auto& heuristics = experiment.heuristic_specs();
         char title[128];
         std::snprintf(title, sizeof title,
                       "Table 3 — communication times x%g", factor);

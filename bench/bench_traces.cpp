@@ -10,7 +10,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/factory.hpp"
+#include "api/registry.hpp"
+#include "api/simulation_builder.hpp"
 #include "exp/dfb.hpp"
 #include "sim/engine.hpp"
 #include "trace/empirical.hpp"
@@ -67,14 +68,18 @@ int main(int argc, char** argv) {
             models.push_back(
                 std::make_unique<vt::SemiMarkovAvailability>(params));
         }
-        vs::EngineConfig cfg;
-        cfg.iterations = 10;
-        cfg.tasks_per_iteration = 10;
-        cfg.max_slots = 2'000'000;
-        const vs::Simulation sim(pf, std::move(models), beliefs, cfg, seed);
+        const auto sim = vs::Simulation::builder()
+                             .platform(pf)
+                             .models(std::move(models))
+                             .beliefs(beliefs)
+                             .iterations(10)
+                             .tasks_per_iteration(10)
+                             .max_slots(2'000'000)
+                             .seed(seed)
+                             .build();
         std::vector<long long> makespans;
         for (const auto& name : heuristics) {
-            const auto sched = volsched::core::make_scheduler(name);
+            const auto sched = volsched::api::SchedulerRegistry::instance().make(name);
             makespans.push_back(sim.run(*sched).makespan);
         }
         table.add_instance(makespans);

@@ -16,11 +16,7 @@
 #include <numeric>
 #include <vector>
 
-#include "core/factory.hpp"
-#include "markov/chain.hpp"
-#include "markov/expectation.hpp"
-#include "sim/engine.hpp"
-#include "util/table.hpp"
+#include "volsched/volsched.hpp"
 
 namespace {
 
@@ -76,13 +72,14 @@ int main() {
             class_of.push_back(static_cast<int>(c));
         }
 
-    sim::EngineConfig config;
-    config.iterations = 10;        // PDE sweeps
-    config.tasks_per_iteration = 24; // mesh tiles
-    config.replica_cap = 2;
-
-    const auto simulation =
-        sim::Simulation::from_chains(platform, chains, config, /*seed=*/7);
+    const auto simulation = sim::Simulation::builder()
+                                .platform(platform)
+                                .markov(chains)
+                                .iterations(10)          // PDE sweeps
+                                .tasks_per_iteration(24) // mesh tiles
+                                .replica_cap(2)
+                                .seed(7)
+                                .build();
 
     util::TextTable table({"heuristic", "makespan (min)", "crashes",
                            "wasted compute", "replica wins"});
@@ -91,7 +88,7 @@ int main() {
     long long best = -1;
     std::string best_name;
     for (const auto& name : core::all_heuristic_names()) {
-        const auto sched = core::make_scheduler(name);
+        const auto sched = api::SchedulerRegistry::instance().make(name);
         const auto m = simulation.run(*sched);
         if (best < 0 || m.makespan < best) {
             best = m.makespan;

@@ -12,12 +12,7 @@
 
 #include <cstdio>
 
-#include "offline/exact.hpp"
-#include "offline/instance.hpp"
-#include "offline/mct.hpp"
-#include "offline/render.hpp"
-#include "offline/sat.hpp"
-#include "offline/schedule.hpp"
+#include "volsched/volsched.hpp"
 
 int main() {
     using namespace volsched::offline;

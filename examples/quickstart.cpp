@@ -1,73 +1,42 @@
 /// \file quickstart.cpp
-/// Minimal end-to-end use of the volsched public API:
-///  1. describe a platform (20 volatile processors, bounded master
-///     bandwidth),
-///  2. draw per-processor 3-state Markov availability chains,
-///  3. run a 10-iteration master-worker application under the paper's best
-///     heuristic (EMCT*) and under plain MCT,
-///  4. print makespans and resource-usage metrics.
+/// The 20-line volsched facade showcase (see API.md): one umbrella include,
+/// a fluent Simulation builder, and registry spec strings — three
+/// heuristics race on the identical availability realization.
 ///
 /// Build and run:
-///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   cmake --preset release && cmake --build --preset release
+///   ./build/release/example_quickstart
 
 #include <cstdio>
 
-#include "core/factory.hpp"
-#include "markov/gen.hpp"
-#include "sim/engine.hpp"
-#include "util/rng.hpp"
+#include "volsched/volsched.hpp"
 
 int main() {
     using namespace volsched;
 
-    // -- 1. Platform: 20 processors, task cost w_q in [2, 20] slots,
-    //       master can feed 5 workers at a time, program 10 slots, data 2.
-    sim::Platform platform;
-    platform.ncom = 5;
-    platform.t_prog = 10;
-    platform.t_data = 2;
     util::Rng rng(2025);
-    for (int q = 0; q < 20; ++q)
-        platform.w.push_back(2 + static_cast<int>(rng.uniform_int(0, 18)));
+    sim::Platform platform = sim::Platform::homogeneous(
+        /*p=*/20, /*w=*/8, /*ncom=*/5, /*t_prog=*/10, /*t_data=*/2);
 
-    // -- 2. Availability: one 3-state Markov chain per processor, drawn
-    //       with the paper's recipe (self-transition in [0.90, 0.99]).
-    const auto chains = markov::generate_chains(20, rng);
+    const auto simulation = sim::Simulation::builder()
+                                .platform(platform)
+                                .markov(markov::generate_chains(20, rng))
+                                .iterations(10)
+                                .tasks_per_iteration(10)
+                                .replica_cap(2)
+                                .seed(42)
+                                .build();
 
-    // -- 3. Application: 10 iterations of 10 tasks, up to 2 extra replicas.
-    sim::EngineConfig config;
-    config.iterations = 10;
-    config.tasks_per_iteration = 10;
-    config.replica_cap = 2;
-
-    const auto simulation =
-        sim::Simulation::from_chains(platform, chains, config, /*seed=*/42);
-
-    // -- 4. Run three heuristics on the *same* availability realization.
-    for (const char* name : {"emct*", "mct", "random"}) {
-        const auto scheduler = core::make_scheduler(name);
-        const auto metrics = simulation.run(*scheduler);
-        std::printf(
-            "%-8s makespan %6lld slots | %3lld crashes | %4lld replica "
-            "commits (%lld wins) | wasted: %5lld comm, %5lld compute\n",
-            name, metrics.makespan, metrics.down_events,
-            metrics.replicas_committed, metrics.replica_wins,
-            metrics.wasted_transfer_slots, metrics.wasted_compute_slots);
+    for (const char* spec : {"emct*", "mct", "thr50:emct", "random"}) {
+        const auto sched = api::SchedulerRegistry::instance().make(spec);
+        const auto m = simulation.run(*sched);
+        std::printf("%-10s makespan %6lld slots | %3lld crashes | wasted "
+                    "%5lld comm, %5lld compute\n",
+                    spec, m.makespan, m.down_events,
+                    m.wasted_transfer_slots, m.wasted_compute_slots);
     }
-    std::puts("\nLower makespan is better; all three runs saw the identical "
-              "availability trace.");
-
-    // -- 5. Re-run the winner with the timeline recorder attached and show
-    //       the first few workers' activity (P program, D data, C compute,
-    //       B both, r reclaimed, d down, . idle).
-    sim::Timeline timeline;
-    config.timeline = &timeline;
-    const auto traced =
-        sim::Simulation::from_chains(platform, chains, config, /*seed=*/42);
-    const auto scheduler = core::make_scheduler("emct*");
-    (void)traced.run(*scheduler);
-    std::printf("\nfirst 72 slots of the emct* run:\n%s",
-                timeline.render(0, 72).c_str());
+    std::puts("\nLower makespan is better; all runs saw the identical "
+              "availability trace.  volsched_sim --list-heuristics prints "
+              "every registered spec.");
     return 0;
 }

@@ -13,14 +13,7 @@
 #include <memory>
 #include <sstream>
 
-#include "core/factory.hpp"
-#include "exp/dfb.hpp"
-#include "sim/engine.hpp"
-#include "trace/empirical.hpp"
-#include "trace/replay.hpp"
-#include "trace/semi_markov.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "volsched/volsched.hpp"
 
 int main() {
     using namespace volsched;
@@ -48,11 +41,9 @@ int main() {
     util::TextTable stats({"host", "up%", "reclaimed%", "down%",
                            "mean up-run", "fitted P_uu"});
     for (std::size_t c = 1; c < 6; ++c) stats.align_right(c);
-    std::vector<markov::MarkovChain> beliefs;
     for (int q = 0; q < p; ++q) {
         const auto st = trace::analyze(loaded[q]);
         const auto fitted = trace::fit_markov({loaded[q]});
-        beliefs.emplace_back(fitted);
         if (q < 5) // keep the table short
             stats.add_row({"host" + std::to_string(q),
                            util::TextTable::num(100 * st.occupancy[0], 1),
@@ -63,7 +54,9 @@ int main() {
     }
     std::printf("%s(first 5 hosts shown)\n\n", stats.render().c_str());
 
-    // -- 4. Replay in the simulator under several heuristics.
+    // -- 4. Replay in the simulator under several heuristics.  The
+    //       builder's empirical() source replays each trace and fits its
+    //       Markov belief in one step (same fit as the table above).
     sim::Platform platform;
     platform.ncom = 4;
     platform.t_prog = 15;
@@ -71,23 +64,20 @@ int main() {
     for (int q = 0; q < p; ++q)
         platform.w.push_back(5 + static_cast<int>(rng.uniform_int(0, 25)));
 
-    std::vector<std::unique_ptr<markov::AvailabilityModel>> models;
-    for (int q = 0; q < p; ++q)
-        models.push_back(std::make_unique<trace::ReplayAvailability>(
-            loaded[q], trace::ReplayAvailability::EndPolicy::Loop));
-
-    sim::EngineConfig config;
-    config.iterations = 10;
-    config.tasks_per_iteration = 12;
-    const sim::Simulation simulation(platform, std::move(models), beliefs,
-                                     config, /*seed=*/3);
+    const auto simulation = sim::Simulation::builder()
+                                .platform(platform)
+                                .empirical(loaded)
+                                .iterations(10)
+                                .tasks_per_iteration(12)
+                                .seed(3)
+                                .build();
 
     util::TextTable result({"heuristic", "makespan", "crashes"});
     result.align_right(1);
     result.align_right(2);
     for (const char* name : {"emct*", "emct", "mct", "ud*", "lw*",
                              "random2w", "random"}) {
-        const auto sched = core::make_scheduler(name);
+        const auto sched = api::SchedulerRegistry::instance().make(name);
         const auto m = simulation.run(*sched);
         result.add_row({name, std::to_string(m.makespan),
                         std::to_string(m.down_events)});

@@ -1,0 +1,168 @@
+#include "api/experiment_builder.hpp"
+
+#include <stdexcept>
+
+#include "api/registry.hpp"
+#include "core/factory.hpp"
+
+namespace volsched::api {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("ExperimentBuilder: " + what);
+}
+
+void require_positive(const char* what, long long value) {
+    if (value <= 0)
+        fail(std::string(what) + " must be positive, got " +
+             std::to_string(value));
+}
+
+void require_axis(const char* what, const std::vector<int>& values) {
+    if (values.empty()) fail(std::string(what) + " axis is empty");
+    for (int v : values)
+        if (v <= 0)
+            fail(std::string(what) + " axis contains the non-positive value " +
+                 std::to_string(v));
+}
+
+} // namespace
+
+ExperimentBuilder::ExperimentBuilder() = default;
+
+ExperimentBuilder&
+ExperimentBuilder::heuristics(std::vector<std::string> specs) {
+    // Validate eagerly: a bad spec should fail at composition time with the
+    // registry's did-you-mean message, not thousands of instances into the
+    // sweep on a worker thread.
+    for (const auto& spec : specs)
+        SchedulerRegistry::instance().validate(spec);
+    heuristics_ = std::move(specs);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::all_heuristics() {
+    return heuristics(core::all_heuristic_names());
+}
+
+ExperimentBuilder& ExperimentBuilder::greedy_heuristics() {
+    return heuristics(core::greedy_heuristic_names());
+}
+
+ExperimentBuilder& ExperimentBuilder::tasks(std::vector<int> values) {
+    config_.tasks_values = std::move(values);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::ncom(std::vector<int> values) {
+    config_.ncom_values = std::move(values);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::wmin(std::vector<int> values) {
+    config_.wmin_values = std::move(values);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::processors(int p) {
+    config_.p = p;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenarios_per_cell(int n) {
+    config_.scenarios_per_cell = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::trials(int n) {
+    config_.trials_per_scenario = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::tdata_factor(double f) {
+    config_.tdata_factor = f;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::tprog_factor(double f) {
+    config_.tprog_factor = f;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::iterations(int n) {
+    config_.run.iterations = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::replica_cap(int n) {
+    config_.run.replica_cap = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::max_slots(long long n) {
+    config_.run.max_slots = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::plan_class(sim::SchedulerClass c) {
+    config_.run.plan_class = c;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t master_seed) {
+    config_.master_seed = master_seed;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::threads(std::size_t n) {
+    config_.threads = n;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::progress(
+    std::function<void(long long, long long)> callback) {
+    config_.progress = std::move(callback);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::record(
+    std::function<void(const exp::Scenario&, int,
+                       const std::vector<long long>&)>
+        sink) {
+    config_.record = std::move(sink);
+    return *this;
+}
+
+void ExperimentBuilder::validate() const {
+    if (heuristics_.empty())
+        fail("no heuristics; call .heuristics({...}), .all_heuristics() or "
+             ".greedy_heuristics()");
+    require_axis("tasks", config_.tasks_values);
+    require_axis("ncom", config_.ncom_values);
+    require_axis("wmin", config_.wmin_values);
+    require_positive("processors", config_.p);
+    require_positive("scenarios_per_cell", config_.scenarios_per_cell);
+    require_positive("trials", config_.trials_per_scenario);
+    require_positive("iterations", config_.run.iterations);
+    require_positive("max_slots", config_.run.max_slots);
+    if (config_.run.replica_cap < 0) fail("replica_cap is negative");
+    if (config_.tdata_factor < 0 || config_.tprog_factor < 0)
+        fail("tdata/tprog factors must be non-negative");
+}
+
+exp::SweepConfig ExperimentBuilder::sweep_config() const {
+    validate();
+    return config_;
+}
+
+const std::vector<std::string>& ExperimentBuilder::heuristic_specs() const {
+    return heuristics_;
+}
+
+exp::SweepResult ExperimentBuilder::run() const {
+    validate();
+    return exp::run_sweep(config_, heuristics_);
+}
+
+} // namespace volsched::api

@@ -1,0 +1,225 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace volsched::api {
+
+// Force-link anchors of the registration TUs that live inside the volsched
+// static library (greedy, random, extension heuristics).  Referencing them
+// here makes the linker pull those archive members — and with them their
+// self-registration statics — into every binary that uses the registry.
+namespace detail {
+void scheduler_tu_anchor_greedy();
+void scheduler_tu_anchor_random();
+void scheduler_tu_anchor_extensions();
+} // namespace detail
+
+namespace {
+
+std::string lowercase(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/// Classic Levenshtein distance, O(|a|*|b|).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+    static SchedulerRegistry registry;
+    static const bool anchors [[maybe_unused]] =
+        (detail::scheduler_tu_anchor_greedy(),
+         detail::scheduler_tu_anchor_random(),
+         detail::scheduler_tu_anchor_extensions(), true);
+    return registry;
+}
+
+void SchedulerRegistry::add(SchedulerInfo info) {
+    if (info.name.empty())
+        throw std::invalid_argument(
+            "SchedulerRegistry::add: empty scheduler name");
+    for (char c : info.name)
+        if (is_spec_structural_char(c))
+            throw std::invalid_argument(
+                "SchedulerRegistry::add: name '" + info.name +
+                "' contains the spec-structural character '" + c + "'");
+    if (!info.factory)
+        throw std::invalid_argument("SchedulerRegistry::add: scheduler '" +
+                                    info.name + "' has no factory");
+    std::lock_guard lock(mutex_);
+    const auto [it, inserted] = entries_.try_emplace(info.name, info);
+    (void)it;
+    if (!inserted)
+        throw std::invalid_argument("SchedulerRegistry::add: scheduler '" +
+                                    info.name + "' is already registered");
+}
+
+bool SchedulerRegistry::erase(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    return entries_.erase(name) > 0;
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    return entries_.count(name) > 0;
+}
+
+std::vector<SchedulerInfo> SchedulerRegistry::entries() const {
+    std::lock_guard lock(mutex_);
+    std::vector<SchedulerInfo> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, info] : entries_) out.push_back(info);
+    return out;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, info] : entries_) out.push_back(name);
+    return out;
+}
+
+std::string SchedulerRegistry::suggestion_for(std::string_view name) const {
+    const std::string needle = lowercase(name);
+    std::string best;
+    std::size_t best_dist = 0;
+    {
+        std::lock_guard lock(mutex_);
+        for (const auto& [candidate, info] : entries_) {
+            const std::size_t d = edit_distance(needle, lowercase(candidate));
+            if (best.empty() || d < best_dist ||
+                (d == best_dist && candidate < best)) {
+                best = candidate;
+                best_dist = d;
+            }
+        }
+    }
+    // Only suggest names that are plausibly a typo of the input: allow one
+    // edit per three characters, but always at least two.
+    const std::size_t cutoff = std::max<std::size_t>(2, needle.size() / 3);
+    if (best.empty() || best_dist > cutoff) return {};
+    return best;
+}
+
+SchedulerRegistry::Resolved
+SchedulerRegistry::resolve(const SchedulerSpec& spec) const {
+    std::unique_lock lock(mutex_);
+    if (const auto it = entries_.find(spec.name()); it != entries_.end())
+        return {it->second, spec};
+
+    // Trailing-integer shorthand: "thr50" == "thr(percent=50)".
+    const std::string& name = spec.name();
+    std::size_t digits = name.size();
+    while (digits > 0 &&
+           std::isdigit(static_cast<unsigned char>(name[digits - 1])))
+        --digits;
+    if (digits > 0 && digits < name.size()) {
+        const auto it = entries_.find(name.substr(0, digits));
+        if (it != entries_.end() && !it->second.shorthand_option.empty()) {
+            if (spec.option(it->second.shorthand_option) != nullptr)
+                throw std::invalid_argument(
+                    "scheduler spec '" + spec.canonical() + "': option '" +
+                    it->second.shorthand_option +
+                    "' given both as shorthand and as key=value");
+            SchedulerSpec expanded = spec;
+            expanded.set_name(it->first);
+            expanded.add_option(it->second.shorthand_option,
+                                name.substr(digits));
+            return {it->second, std::move(expanded)};
+        }
+    }
+
+    lock.unlock();
+    std::string message = "unknown heuristic '" + spec.name() + "'";
+    if (const std::string hint = suggestion_for(spec.name()); !hint.empty())
+        message += "; did you mean '" + hint + "'?";
+    message += "  (volsched_sim --list-heuristics prints all names)";
+    throw std::invalid_argument(message);
+}
+
+std::unique_ptr<sim::Scheduler>
+SchedulerRegistry::make(const std::string& spec_text) const {
+    return make(SchedulerSpec::parse(spec_text));
+}
+
+std::unique_ptr<sim::Scheduler>
+SchedulerRegistry::make(const SchedulerSpec& spec) const {
+    const Resolved resolved = resolve(spec);
+    if (resolved.info.takes_inner && !spec.has_inner())
+        throw std::invalid_argument(
+            "scheduler spec '" + spec.canonical() + "': '" +
+            resolved.info.name +
+            "' wraps another heuristic and needs an inner stage, e.g. '" +
+            spec.canonical() + ":emct'");
+    if (!resolved.info.takes_inner && spec.has_inner())
+        throw std::invalid_argument("scheduler spec '" + spec.canonical() +
+                                    "': '" + resolved.info.name +
+                                    "' does not accept an inner stage");
+    auto sched = resolved.info.factory(resolved.spec, *this);
+    if (!sched)
+        throw std::logic_error("scheduler factory for '" +
+                               resolved.info.name + "' returned null");
+    return sched;
+}
+
+void SchedulerRegistry::validate(const std::string& spec_text) const {
+    // Instantiation is cheap for every registered scheduler, and running
+    // the real factory exercises option validation too.
+    (void)make(spec_text);
+}
+
+bool detail::add_at_static_init(SchedulerInfo info) noexcept {
+    try {
+        SchedulerRegistry::instance().add(std::move(info));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "volsched: fatal error during scheduler "
+                     "registration: %s\n",
+                     e.what());
+        std::abort();
+    }
+    return true;
+}
+
+void require_no_options(const SchedulerSpec& spec) {
+    if (!spec.options().empty())
+        throw std::invalid_argument(
+            "scheduler spec '" + spec.canonical() + "': '" + spec.name() +
+            "' takes no options, got '" + spec.options().front().first + "'");
+}
+
+void require_only_options(const SchedulerSpec& spec,
+                          std::initializer_list<std::string_view> allowed) {
+    for (const auto& [key, value] : spec.options()) {
+        bool ok = false;
+        for (std::string_view a : allowed) ok = ok || key == a;
+        if (!ok)
+            throw std::invalid_argument("scheduler spec '" + spec.canonical() +
+                                        "': unknown option '" + key +
+                                        "' for '" + spec.name() + "'");
+    }
+}
+
+} // namespace volsched::api

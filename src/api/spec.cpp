@@ -1,0 +1,147 @@
+#include "api/spec.hpp"
+
+#include <stdexcept>
+
+namespace volsched::api {
+namespace {
+
+[[noreturn]] void fail(std::string_view text, const std::string& what) {
+    throw std::invalid_argument("scheduler spec '" + std::string(text) +
+                                "': " + what);
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+std::string check_token(std::string_view full, std::string_view tok,
+                        const char* role) {
+    tok = trim(tok);
+    if (tok.empty()) fail(full, std::string("empty ") + role);
+    for (char c : tok)
+        if (is_spec_structural_char(c))
+            fail(full, std::string(role) + " '" + std::string(tok) +
+                           "' contains the reserved character '" + c + "'");
+    return std::string(tok);
+}
+
+/// Parses one stage `name[(k=v,...)]` from `stage_text`.
+SchedulerSpec parse_stage(std::string_view full, std::string_view stage_text) {
+    stage_text = trim(stage_text);
+    const auto open = stage_text.find('(');
+    SchedulerSpec spec;
+    if (open == std::string_view::npos) {
+        spec.set_name(check_token(full, stage_text, "stage name"));
+        return spec;
+    }
+    if (stage_text.back() != ')')
+        fail(full, "missing ')' in stage '" + std::string(stage_text) + "'");
+    spec.set_name(check_token(full, stage_text.substr(0, open), "stage name"));
+    std::string_view body =
+        stage_text.substr(open + 1, stage_text.size() - open - 2);
+    if (trim(body).empty())
+        fail(full, "empty option list in stage '" + spec.name() + "'");
+    while (true) {
+        const auto comma = body.find(',');
+        const std::string_view kv =
+            comma == std::string_view::npos ? body : body.substr(0, comma);
+        const auto eq = kv.find('=');
+        if (eq == std::string_view::npos)
+            fail(full, "option '" + std::string(trim(kv)) +
+                           "' is not of the form key=value");
+        std::string key = check_token(full, kv.substr(0, eq), "option key");
+        std::string value =
+            check_token(full, kv.substr(eq + 1), "option value");
+        if (spec.option(key) != nullptr)
+            fail(full, "duplicate option key '" + key + "'");
+        spec.add_option(std::move(key), std::move(value));
+        if (comma == std::string_view::npos) break;
+        body = body.substr(comma + 1);
+    }
+    return spec;
+}
+
+} // namespace
+
+bool is_spec_structural_char(char c) noexcept {
+    return c == ':' || c == '(' || c == ')' || c == ',' || c == '=';
+}
+
+namespace {
+
+/// Parses `text`, attributing errors to the user's complete input `full`
+/// (the recursion below hands in ever-shorter tails).
+SchedulerSpec parse_spec(std::string_view full, std::string_view text) {
+    if (trim(text).empty())
+        fail(full, text.data() == full.data() && text.size() == full.size()
+                       ? "empty spec"
+                       : "empty inner stage after ':'");
+
+    // Split at top-level ':' (a ':' not inside parentheses).
+    int depth = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '(') {
+            ++depth;
+        } else if (c == ')') {
+            if (--depth < 0) fail(full, "unbalanced ')'");
+        } else if (c == ':' && depth == 0) {
+            SchedulerSpec outer = parse_stage(full, text.substr(0, i));
+            outer.set_inner(parse_spec(full, text.substr(i + 1)));
+            return outer;
+        }
+    }
+    if (depth != 0) fail(full, "unbalanced '('");
+    return parse_stage(full, text);
+}
+
+} // namespace
+
+SchedulerSpec SchedulerSpec::parse(std::string_view text) {
+    return parse_spec(text, text);
+}
+
+void SchedulerSpec::add_option(std::string key, std::string value) {
+    options_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::string* SchedulerSpec::option(std::string_view key) const {
+    for (const auto& [k, v] : options_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+void SchedulerSpec::set_inner(SchedulerSpec inner) {
+    inner_.clear();
+    inner_.push_back(std::move(inner));
+}
+
+std::string SchedulerSpec::canonical() const {
+    std::string out = name_;
+    if (!options_.empty()) {
+        out += '(';
+        for (std::size_t i = 0; i < options_.size(); ++i) {
+            if (i != 0) out += ',';
+            out += options_[i].first;
+            out += '=';
+            out += options_[i].second;
+        }
+        out += ')';
+    }
+    if (has_inner()) {
+        out += ':';
+        out += inner().canonical();
+    }
+    return out;
+}
+
+bool SchedulerSpec::operator==(const SchedulerSpec& other) const {
+    return name_ == other.name_ && options_ == other.options_ &&
+           inner_ == other.inner_;
+}
+
+} // namespace volsched::api

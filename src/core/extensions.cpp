@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
+#include "api/registry.hpp"
 #include "core/ct.hpp"
 #include "markov/expectation.hpp"
 
@@ -77,4 +79,47 @@ sim::ProcId HybridScheduler::select(const sim::SchedView& view,
     return best;
 }
 
+// ---------------------------------------------------------------------------
+// Registry self-registration: the extension heuristics.
+// ---------------------------------------------------------------------------
+namespace {
+
+VOLSCHED_REGISTER_SCHEDULER(hybrid, {
+    "hybrid", "restart-aware expected completion: E(CT) / P_UD(E(CT))",
+    [](const api::SchedulerSpec& spec, const api::SchedulerRegistry&)
+        -> std::unique_ptr<sim::Scheduler> {
+        api::require_no_options(spec);
+        return std::make_unique<HybridScheduler>();
+    }});
+
+VOLSCHED_REGISTER_SCHEDULER(thr, {
+    "thr",
+    "exclude processors with steady-state pi_u below percent/100, then run "
+    "the inner heuristic (thr50:emct, thr(percent=50):emct)",
+    [](const api::SchedulerSpec& spec, const api::SchedulerRegistry& registry)
+        -> std::unique_ptr<sim::Scheduler> {
+        api::require_only_options(spec, {"percent"});
+        const std::string* percent_text = spec.option("percent");
+        if (percent_text == nullptr)
+            throw std::invalid_argument(
+                "scheduler spec '" + spec.canonical() +
+                "': 'thr' needs a percent, e.g. thr50:emct or "
+                "thr(percent=50):emct");
+        char* end = nullptr;
+        const long percent = std::strtol(percent_text->c_str(), &end, 10);
+        if (end == percent_text->c_str() || *end != '\0' || percent < 0 ||
+            percent > 100)
+            throw std::invalid_argument(
+                "scheduler spec '" + spec.canonical() + "': percent '" +
+                *percent_text + "' is not an integer in [0, 100]");
+        return std::make_unique<ThresholdScheduler>(
+            registry.make(spec.inner()),
+            static_cast<double>(percent) / 100.0);
+    },
+    /*takes_inner=*/true, /*shorthand_option=*/"percent"});
+
+} // namespace
+
 } // namespace volsched::core
+
+VOLSCHED_SCHEDULER_TU_ANCHOR(extensions)

@@ -1,11 +1,6 @@
 #include "core/factory.hpp"
 
-#include <cstdlib>
-#include <stdexcept>
-
-#include "core/extensions.hpp"
-#include "core/greedy_sched.hpp"
-#include "core/random_sched.hpp"
+#include "api/registry.hpp"
 
 namespace volsched::core {
 
@@ -31,48 +26,7 @@ const std::vector<std::string>& extension_heuristic_names() {
 }
 
 std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
-    if (name == "hybrid") return std::make_unique<HybridScheduler>();
-    if (name.rfind("thr", 0) == 0) {
-        const auto colon = name.find(':');
-        if (colon == std::string::npos || colon <= 3)
-            throw std::invalid_argument(
-                "make_scheduler: threshold form is thr<percent>:<inner>, "
-                "got '" + name + "'");
-        const std::string digits = name.substr(3, colon - 3);
-        char* end = nullptr;
-        const long percent = std::strtol(digits.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || percent < 0 || percent > 100)
-            throw std::invalid_argument(
-                "make_scheduler: bad threshold percent in '" + name + "'");
-        auto inner = make_scheduler(name.substr(colon + 1));
-        return std::make_unique<ThresholdScheduler>(
-            std::move(inner), static_cast<double>(percent) / 100.0);
-    }
-    if (name == "mct") return std::make_unique<MctScheduler>(false);
-    if (name == "mct*") return std::make_unique<MctScheduler>(true);
-    if (name == "emct") return std::make_unique<EmctScheduler>(false);
-    if (name == "emct*") return std::make_unique<EmctScheduler>(true);
-    if (name == "lw") return std::make_unique<LwScheduler>(false);
-    if (name == "lw*") return std::make_unique<LwScheduler>(true);
-    if (name == "ud") return std::make_unique<UdScheduler>(false);
-    if (name == "ud*") return std::make_unique<UdScheduler>(true);
-    if (name == "random")
-        return std::make_unique<RandomScheduler>(RandomWeight::Uniform, false);
-
-    auto random_of = [&](RandomWeight w, bool speed) {
-        return std::make_unique<RandomScheduler>(w, speed);
-    };
-    if (name == "random1") return random_of(RandomWeight::LongTimeUp, false);
-    if (name == "random2") return random_of(RandomWeight::LikelyWorkMore, false);
-    if (name == "random3") return random_of(RandomWeight::OftenUp, false);
-    if (name == "random4") return random_of(RandomWeight::RarelyDown, false);
-    if (name == "random1w") return random_of(RandomWeight::LongTimeUp, true);
-    if (name == "random2w") return random_of(RandomWeight::LikelyWorkMore, true);
-    if (name == "random3w") return random_of(RandomWeight::OftenUp, true);
-    if (name == "random4w") return random_of(RandomWeight::RarelyDown, true);
-
-    throw std::invalid_argument("make_scheduler: unknown heuristic '" + name +
-                                "'");
+    return api::SchedulerRegistry::instance().make(name);
 }
 
 } // namespace volsched::core

@@ -1,7 +1,9 @@
 #pragma once
 /// \file factory.hpp
-/// String-keyed construction of every heuristic in the paper, for the
-/// experiment harness, benches and examples.
+/// Compatibility shim over the self-registering scheduler registry
+/// (api/registry.hpp) plus the paper's curated heuristic name lists.
+/// make_scheduler delegates to SchedulerRegistry; new heuristics register
+/// themselves with VOLSCHED_REGISTER_SCHEDULER and need no edits here.
 
 #include <memory>
 #include <string>
@@ -25,9 +27,13 @@ const std::vector<std::string>& greedy_heuristic_names();
 /// steady-state pi_u is below 0.50 and runs EMCT among the rest).
 const std::vector<std::string>& extension_heuristic_names();
 
-/// Constructs a heuristic by name; throws std::invalid_argument for an
-/// unknown name.  Names are case-sensitive and match Table 2 (lowercased,
-/// e.g. "emct*", "random2w"); extension names as documented above.
+/// Constructs a heuristic from a registry spec string; throws
+/// std::invalid_argument (with a did-you-mean suggestion) for an unknown
+/// name.  Names are case-sensitive and match Table 2 (lowercased, e.g.
+/// "emct*", "random2w"); the full spec grammar — wrapper stages and
+/// key=value options like "thr(percent=50):emct" — is documented in
+/// api/spec.hpp and API.md.  Thin shim over
+/// api::SchedulerRegistry::instance().make(name).
 std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name);
 
 } // namespace volsched::core

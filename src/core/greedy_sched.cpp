@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "api/registry.hpp"
 #include "core/ct.hpp"
 #include "markov/expectation.hpp"
 
@@ -81,4 +83,49 @@ double UdScheduler::score(const sim::SchedView& view, sim::ProcId q,
     return -p;
 }
 
+// ---------------------------------------------------------------------------
+// Registry self-registration: the eight greedy heuristics of Section 6.3.
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Factory for a greedy scheduler with no spec options beyond its name.
+template <class S>
+auto greedy_factory(bool starred) {
+    return [starred](const api::SchedulerSpec& spec,
+                     const api::SchedulerRegistry&)
+               -> std::unique_ptr<sim::Scheduler> {
+        api::require_no_options(spec);
+        return std::make_unique<S>(starred);
+    };
+}
+
+VOLSCHED_REGISTER_SCHEDULER(mct, {
+    "mct", "minimum estimated completion time (Section 6.3.1)",
+    greedy_factory<MctScheduler>(false)});
+VOLSCHED_REGISTER_SCHEDULER(mct_star, {
+    "mct*", "MCT with the nactive spread correction",
+    greedy_factory<MctScheduler>(true)});
+VOLSCHED_REGISTER_SCHEDULER(emct, {
+    "emct", "minimum expected completion time under the belief (Theorem 2)",
+    greedy_factory<EmctScheduler>(false)});
+VOLSCHED_REGISTER_SCHEDULER(emct_star, {
+    "emct*", "EMCT with the nactive spread correction",
+    greedy_factory<EmctScheduler>(true)});
+VOLSCHED_REGISTER_SCHEDULER(lw, {
+    "lw", "most likely to stay up for the whole workload (Section 6.3.2)",
+    greedy_factory<LwScheduler>(false)});
+VOLSCHED_REGISTER_SCHEDULER(lw_star, {
+    "lw*", "LW with the nactive spread correction",
+    greedy_factory<LwScheduler>(true)});
+VOLSCHED_REGISTER_SCHEDULER(ud, {
+    "ud", "max probability of no crash during E(CT) (Section 6.3.3)",
+    greedy_factory<UdScheduler>(false)});
+VOLSCHED_REGISTER_SCHEDULER(ud_star, {
+    "ud*", "UD with the nactive spread correction",
+    greedy_factory<UdScheduler>(true)});
+
+} // namespace
+
 } // namespace volsched::core
+
+VOLSCHED_SCHEDULER_TU_ANCHOR(greedy)

@@ -1,5 +1,8 @@
 #include "core/random_sched.hpp"
 
+#include <memory>
+
+#include "api/registry.hpp"
 #include "markov/expectation.hpp"
 
 namespace volsched::core {
@@ -48,4 +51,50 @@ sim::ProcId RandomScheduler::select(const sim::SchedView& view,
     return eligible[idx];
 }
 
+// ---------------------------------------------------------------------------
+// Registry self-registration: the nine random heuristics of Section 6.2.
+// ---------------------------------------------------------------------------
+namespace {
+
+auto random_factory(RandomWeight weight, bool divide_by_speed) {
+    return [weight, divide_by_speed](const api::SchedulerSpec& spec,
+                                     const api::SchedulerRegistry&)
+               -> std::unique_ptr<sim::Scheduler> {
+        api::require_no_options(spec);
+        return std::make_unique<RandomScheduler>(weight, divide_by_speed);
+    };
+}
+
+VOLSCHED_REGISTER_SCHEDULER(random, {
+    "random", "uniform random UP processor",
+    random_factory(RandomWeight::Uniform, false)});
+VOLSCHED_REGISTER_SCHEDULER(random1, {
+    "random1", "random weighted by P_uu (long time up)",
+    random_factory(RandomWeight::LongTimeUp, false)});
+VOLSCHED_REGISTER_SCHEDULER(random2, {
+    "random2", "random weighted by P+ (likely to work more, Lemma 1)",
+    random_factory(RandomWeight::LikelyWorkMore, false)});
+VOLSCHED_REGISTER_SCHEDULER(random3, {
+    "random3", "random weighted by pi_u (often up)",
+    random_factory(RandomWeight::OftenUp, false)});
+VOLSCHED_REGISTER_SCHEDULER(random4, {
+    "random4", "random weighted by 1 - pi_d (rarely down)",
+    random_factory(RandomWeight::RarelyDown, false)});
+VOLSCHED_REGISTER_SCHEDULER(random1w, {
+    "random1w", "random1 with the weight divided by w_q (speed-aware)",
+    random_factory(RandomWeight::LongTimeUp, true)});
+VOLSCHED_REGISTER_SCHEDULER(random2w, {
+    "random2w", "random2 with the weight divided by w_q (speed-aware)",
+    random_factory(RandomWeight::LikelyWorkMore, true)});
+VOLSCHED_REGISTER_SCHEDULER(random3w, {
+    "random3w", "random3 with the weight divided by w_q (speed-aware)",
+    random_factory(RandomWeight::OftenUp, true)});
+VOLSCHED_REGISTER_SCHEDULER(random4w, {
+    "random4w", "random4 with the weight divided by w_q (speed-aware)",
+    random_factory(RandomWeight::RarelyDown, true)});
+
+} // namespace
+
 } // namespace volsched::core
+
+VOLSCHED_SCHEDULER_TU_ANCHOR(random)

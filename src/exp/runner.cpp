@@ -1,6 +1,6 @@
 #include "exp/runner.hpp"
 
-#include "core/factory.hpp"
+#include "api/registry.hpp"
 
 namespace volsched::exp {
 
@@ -17,11 +17,12 @@ InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
     const auto simulation =
         sim::Simulation::from_chains(rs.platform, rs.chains, ec, trial_seed);
 
+    const auto& registry = api::SchedulerRegistry::instance();
     InstanceOutcome out;
     out.makespans.reserve(heuristics.size());
     out.metrics.reserve(heuristics.size());
     for (const auto& name : heuristics) {
-        const auto sched = core::make_scheduler(name);
+        const auto sched = registry.make(name);
         const auto metrics = simulation.run(*sched);
         out.makespans.push_back(metrics.makespan);
         out.metrics.push_back(metrics);

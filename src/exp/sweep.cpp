@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "api/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +19,12 @@ struct Job {
 
 SweepResult run_sweep(const SweepConfig& cfg,
                       const std::vector<std::string>& heuristics) {
+    // Resolve every spec once up front: a typo fails here with the
+    // registry's did-you-mean message instead of throwing mid-sweep on a
+    // worker thread.
+    for (const auto& name : heuristics)
+        api::SchedulerRegistry::instance().validate(name);
+
     SweepResult result(heuristics);
 
     // Enumerate jobs: one per (cell, scenario draw).

@@ -36,6 +36,10 @@
 #include "sim/scheduler.hpp"
 #include "sim/timeline.hpp"
 
+namespace volsched::api {
+class SimulationBuilder; // defined in api/simulation_builder.hpp
+}
+
 namespace volsched::sim {
 
 /// The scheduler-class taxonomy of Section 6.1.
@@ -98,6 +102,11 @@ public:
     static Simulation from_chains(Platform platform,
                                   const std::vector<markov::MarkovChain>& chains,
                                   EngineConfig config, std::uint64_t seed);
+
+    /// Entry point of the fluent facade: Simulation::builder().platform(...)
+    /// .markov(chains)....build().  Defined with the builder in
+    /// api/simulation_builder.hpp (include volsched/volsched.hpp).
+    static api::SimulationBuilder builder();
 
     /// Runs one full simulation under `sched` and returns its metrics.
     RunMetrics run(Scheduler& sched) const;

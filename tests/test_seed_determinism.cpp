@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/simulation_builder.hpp"
 #include "core/factory.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -85,6 +86,35 @@ TEST(SeedDeterminism, EveryGreedyHeuristicReplaysIdentically) {
         EXPECT_EQ(m1.tasks_completed, m2.tasks_completed) << name;
         EXPECT_EQ(m1.iteration_ends, m2.iteration_ends) << name;
         EXPECT_TRUE(same_trace(t1, t2)) << name << ": schedules differ";
+    }
+}
+
+TEST(SeedDeterminism, BuilderPathReplaysTheConstructorPathExactly) {
+    // The facade builder must be a pure re-packaging: same platform,
+    // chains, config and seed => bit-identical schedule and metrics.
+    const auto sc = vt::small_scenario(77);
+    const auto rs = ve::realize(sc);
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        vs::ActionTrace t1, t2;
+        const auto m1 = run_traced(rs, name, sc.tasks, 5, t1);
+
+        vs::EngineConfig cfg = vt::audited_config(2, sc.tasks);
+        const auto sim = vs::Simulation::builder()
+                             .platform(rs.platform)
+                             .markov(rs.chains)
+                             .config(cfg)
+                             .actions(&t2)
+                             .seed(5)
+                             .build();
+        const auto sched = vc::make_scheduler(name);
+        const auto m2 = sim.run(*sched);
+
+        EXPECT_EQ(m1.makespan, m2.makespan) << name;
+        EXPECT_EQ(m1.completed, m2.completed) << name;
+        EXPECT_EQ(m1.tasks_completed, m2.tasks_completed) << name;
+        EXPECT_EQ(m1.iteration_ends, m2.iteration_ends) << name;
+        EXPECT_TRUE(same_trace(t1, t2))
+            << name << ": builder-built simulation diverged";
     }
 }
 

@@ -1,31 +1,83 @@
 /// \file volsched_sim.cpp
-/// Command-line simulation driver: one run, fully parameterized, with
-/// optional event-log CSV and ASCII timeline output.
+/// Command-line simulation driver: one run (or a same-realization
+/// comparison of several heuristics), fully parameterized, with optional
+/// event-log CSV and ASCII timeline output.
 ///
 ///   volsched_sim --heuristic emct* --procs 20 --tasks 10 --iterations 10
 ///                --ncom 5 --wmin 2 --seed 42 --timeline --events run.csv
+///   volsched_sim --heuristics "emct*,mct,thr50:emct" --seed 7
+///   volsched_sim --list-heuristics
 ///
-/// Availability models: "markov" (paper recipe), "weibull" and "lognormal"
-/// (semi-Markov desktop-grid fleets with Markov beliefs fitted from a
-/// recorded history).
+/// Heuristics are named by registry spec strings (see API.md): any
+/// registered name, wrapper stages ("thr50:emct") and key=value options
+/// ("thr(percent=50):emct").  Availability models: "markov" (paper
+/// recipe), "weibull" and "lognormal" (semi-Markov desktop-grid fleets
+/// with Markov beliefs fitted from a recorded history).
 
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
-#include "core/factory.hpp"
-#include "exp/scenario.hpp"
-#include "markov/gen.hpp"
-#include "sim/engine.hpp"
-#include "trace/empirical.hpp"
-#include "trace/semi_markov.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
+#include "volsched/volsched.hpp"
+
+namespace {
+
+using namespace volsched;
+
+/// Splits a comma-separated heuristic list, trimming blanks.
+std::vector<std::string> split_specs(const std::string& text) {
+    std::vector<std::string> specs;
+    std::string current;
+    for (char c : text) {
+        if (c == ',') {
+            if (!current.empty()) specs.push_back(current);
+            current.clear();
+        } else if (c != ' ' && c != '\t') {
+            current += c;
+        }
+    }
+    if (!current.empty()) specs.push_back(current);
+    return specs;
+}
+
+int list_heuristics() {
+    const auto entries = api::SchedulerRegistry::instance().entries();
+    util::TextTable table({"name", "description"});
+    for (const auto& entry : entries) {
+        std::string name = entry.name;
+        if (entry.takes_inner) name += ":<inner>";
+        table.add_row({name, entry.description});
+    }
+    std::printf("%s", table.render("registered heuristics").c_str());
+    std::puts("\nspec grammar: name[(key=value,...)][:inner], e.g. "
+              "thr50:emct or thr(percent=50):emct");
+    return 0;
+}
+
+void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration) {
+    std::printf("completed        %s\n", m.completed ? "yes" : "NO");
+    std::printf("makespan         %lld slots (%d iterations x %d tasks)\n",
+                m.makespan, m.iterations_completed, tasks_per_iteration);
+    std::printf("tasks completed  %lld  (replica commits %lld, wins %lld)\n",
+                m.tasks_completed, m.replicas_committed, m.replica_wins);
+    std::printf("crashes          %lld   proactive cancels %lld\n",
+                m.down_events, m.proactive_cancellations);
+    std::printf("transfer slots   %lld  (wasted %lld)\n", m.transfer_slots,
+                m.wasted_transfer_slots);
+    std::printf("compute slots    %lld  (wasted %lld)\n", m.compute_slots,
+                m.wasted_compute_slots);
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
-    using namespace volsched;
     util::Cli cli("volsched_sim", "run one master-worker simulation");
-    cli.add_string("heuristic", "emct*", "scheduler name (see factory)");
+    cli.add_string("heuristic", "emct*",
+                   "scheduler spec (--list-heuristics prints all names)");
+    cli.add_string("heuristics", "",
+                   "comma-separated specs: compare them on one realization");
+    cli.add_flag("list-heuristics",
+                 "print the registered heuristics and exit");
     cli.add_string("model", "markov", "availability: markov|weibull|lognormal");
     cli.add_string("class", "dynamic", "scheduler class: dynamic|passive|proactive");
     cli.add_int("procs", 20, "number of processors");
@@ -41,12 +93,38 @@ int main(int argc, char** argv) {
     cli.add_string("events", "", "write the event log to this CSV path");
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
+    if (cli.get_flag("list-heuristics")) return list_heuristics();
+
+    const std::string& spec_list = cli.get_string("heuristics");
+    std::vector<std::string> specs = split_specs(spec_list);
+    if (!spec_list.empty() && specs.empty()) {
+        std::fprintf(stderr, "--heuristics '%s' contains no specs\n",
+                     spec_list.c_str());
+        return 2;
+    }
+    if (specs.empty()) {
+        specs.push_back(cli.get_string("heuristic"));
+    } else if (cli.get_string("heuristic") != "emct*") {
+        std::fprintf(stderr, "note: --heuristic '%s' is ignored because "
+                             "--heuristics is given\n",
+                     cli.get_string("heuristic").c_str());
+    }
+    const auto& registry = api::SchedulerRegistry::instance();
+    for (const auto& spec : specs) {
+        try {
+            registry.validate(spec);
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
     const int p = static_cast<int>(cli.get_int("procs"));
     const int wmin = static_cast<int>(cli.get_int("wmin"));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const auto& model = cli.get_string("model");
 
-    // Platform + availability.
+    // Platform + availability, assembled through the facade builder.
     util::Rng rng(util::mix_seed(seed, 0x700157ULL));
     sim::Platform pf;
     pf.ncom = static_cast<int>(cli.get_int("ncom"));
@@ -56,18 +134,16 @@ int main(int argc, char** argv) {
         pf.w.push_back(static_cast<int>(
             rng.uniform_int(wmin, static_cast<std::uint64_t>(10) * wmin)));
 
-    std::vector<std::unique_ptr<markov::AvailabilityModel>> models;
-    std::vector<markov::MarkovChain> beliefs;
+    auto builder = sim::Simulation::builder();
+    builder.platform(pf).seed(seed);
     if (model == "markov") {
-        const auto chains =
-            markov::generate_chains(static_cast<std::size_t>(p), rng);
-        for (const auto& c : chains) {
-            models.push_back(std::make_unique<markov::MarkovAvailability>(c));
-            beliefs.push_back(c);
-        }
+        builder.markov(markov::generate_chains(static_cast<std::size_t>(p),
+                                               rng));
     } else if (model == "weibull" || model == "lognormal") {
         const double mean_up =
             static_cast<double>(cli.get_int("mean-up"));
+        std::vector<std::unique_ptr<markov::AvailabilityModel>> models;
+        std::vector<markov::MarkovChain> beliefs;
         for (int q = 0; q < p; ++q) {
             const auto params =
                 model == "weibull"
@@ -82,20 +158,20 @@ int main(int argc, char** argv) {
             models.push_back(
                 std::make_unique<trace::SemiMarkovAvailability>(params));
         }
+        builder.models(std::move(models)).beliefs(std::move(beliefs));
     } else {
         std::fprintf(stderr, "unknown availability model '%s'\n",
                      model.c_str());
         return 2;
     }
 
-    sim::EngineConfig cfg;
-    cfg.iterations = static_cast<int>(cli.get_int("iterations"));
-    cfg.tasks_per_iteration = static_cast<int>(cli.get_int("tasks"));
-    cfg.replica_cap = static_cast<int>(cli.get_int("replicas"));
+    builder.iterations(static_cast<int>(cli.get_int("iterations")))
+        .tasks_per_iteration(static_cast<int>(cli.get_int("tasks")))
+        .replica_cap(static_cast<int>(cli.get_int("replicas")));
     const auto& cls = cli.get_string("class");
-    if (cls == "passive") cfg.plan_class = sim::SchedulerClass::Passive;
+    if (cls == "passive") builder.plan_class(sim::SchedulerClass::Passive);
     else if (cls == "proactive")
-        cfg.plan_class = sim::SchedulerClass::Proactive;
+        builder.plan_class(sim::SchedulerClass::Proactive);
     else if (cls != "dynamic") {
         std::fprintf(stderr, "unknown scheduler class '%s'\n", cls.c_str());
         return 2;
@@ -103,40 +179,61 @@ int main(int argc, char** argv) {
 
     sim::EventLog events;
     sim::Timeline timeline;
-    if (!cli.get_string("events").empty()) cfg.events = &events;
-    if (cli.get_flag("timeline")) cfg.timeline = &timeline;
+    const bool single = specs.size() == 1;
+    const bool want_events = !cli.get_string("events").empty();
+    const bool want_timeline = cli.get_flag("timeline");
+    if (single && want_events) builder.events(&events);
+    if (single && want_timeline) builder.timeline(&timeline);
+    if (!single && (want_events || want_timeline))
+        std::fprintf(stderr, "note: --events/--timeline only apply to "
+                             "single-heuristic runs; ignoring\n");
 
-    const sim::Simulation simulation(pf, std::move(models), beliefs, cfg,
-                                     seed);
-    const auto sched = core::make_scheduler(cli.get_string("heuristic"));
-    const auto m = simulation.run(*sched);
+    const auto simulation = builder.build();
 
-    std::printf("heuristic        %s (%s class, %s availability)\n",
-                std::string(sched->name()).c_str(), cls.c_str(),
-                model.c_str());
-    std::printf("completed        %s\n", m.completed ? "yes" : "NO");
-    std::printf("makespan         %lld slots (%d iterations x %d tasks)\n",
-                m.makespan, m.iterations_completed, cfg.tasks_per_iteration);
-    std::printf("tasks completed  %lld  (replica commits %lld, wins %lld)\n",
-                m.tasks_completed, m.replicas_committed, m.replica_wins);
-    std::printf("crashes          %lld   proactive cancels %lld\n",
-                m.down_events, m.proactive_cancellations);
-    std::printf("transfer slots   %lld  (wasted %lld)\n", m.transfer_slots,
-                m.wasted_transfer_slots);
-    std::printf("compute slots    %lld  (wasted %lld)\n", m.compute_slots,
-                m.wasted_compute_slots);
-
-    if (cfg.timeline) {
-        const long long window = cli.get_int("timeline-window");
-        std::printf("\nactivity chart (first %lld slots; P prog, D data, "
-                    "C compute, B both, r reclaimed, d down):\n%s",
-                    window, timeline.render(0, window).c_str());
+    if (single) {
+        const auto sched = registry.make(specs.front());
+        const auto m = simulation.run(*sched);
+        std::printf("heuristic        %s (%s class, %s availability)\n",
+                    std::string(sched->name()).c_str(), cls.c_str(),
+                    model.c_str());
+        print_metrics(m, simulation.config().tasks_per_iteration);
+        if (want_timeline) {
+            const long long window = cli.get_int("timeline-window");
+            std::printf("\nactivity chart (first %lld slots; P prog, D data, "
+                        "C compute, B both, r reclaimed, d down):\n%s",
+                        window, timeline.render(0, window).c_str());
+        }
+        if (want_events) {
+            std::ofstream out(cli.get_string("events"));
+            events.write_csv(out);
+            std::printf("\nwrote %zu events to %s\n", events.size(),
+                        cli.get_string("events").c_str());
+        }
+        return m.completed ? 0 : 1;
     }
-    if (cfg.events) {
-        std::ofstream out(cli.get_string("events"));
-        events.write_csv(out);
-        std::printf("\nwrote %zu events to %s\n", events.size(),
-                    cli.get_string("events").c_str());
+
+    // Comparison mode: every spec faces the identical availability
+    // realization (the per-instance property the paper's metric needs).
+    util::TextTable table({"heuristic", "makespan", "completed", "crashes",
+                           "replica wins", "wasted comm", "wasted compute"});
+    for (std::size_t c = 1; c < 7; ++c) table.align_right(c);
+    bool all_completed = true;
+    for (const auto& spec : specs) {
+        const auto sched = registry.make(spec);
+        const auto m = simulation.run(*sched);
+        all_completed = all_completed && m.completed;
+        table.add_row({std::string(sched->name()),
+                       std::to_string(m.makespan),
+                       m.completed ? "yes" : "NO",
+                       std::to_string(m.down_events),
+                       std::to_string(m.replica_wins),
+                       std::to_string(m.wasted_transfer_slots),
+                       std::to_string(m.wasted_compute_slots)});
     }
-    return m.completed ? 0 : 1;
+    std::printf("%s", table.render(std::to_string(specs.size()) +
+                                   " heuristics, one availability "
+                                   "realization (" + model + ", " + cls +
+                                   " class)")
+                          .c_str());
+    return all_completed ? 0 : 1;
 }

@@ -11,12 +11,7 @@
 #include <iostream>
 #include <memory>
 
-#include "markov/gen.hpp"
-#include "trace/replay.hpp"
-#include "trace/empirical.hpp"
-#include "trace/semi_markov.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
+#include "volsched/volsched.hpp"
 
 int main(int argc, char** argv) {
     using namespace volsched;
