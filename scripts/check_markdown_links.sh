@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Verifies that every relative link in the repo's markdown files points at
+# an existing file or directory.  External (http/mailto) links are skipped.
+# Run from the repository root; exits non-zero listing every broken link.
+set -u
+
+status=0
+for md in $(git ls-files '*.md'); do
+    dir=$(dirname "$md")
+    while IFS= read -r link; do
+        [ -z "$link" ] && continue
+        case "$link" in
+            http://* | https://* | mailto:*) continue ;;
+        esac
+        target=${link%%#*} # drop a #fragment
+        [ -z "$target" ] && continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "broken link in $md: $link"
+            status=1
+        fi
+    done < <(
+        # Drop fenced code blocks and inline code spans first — C++ lambda
+        # syntax ("[&](args)") would otherwise read as a markdown link.
+        awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$md" |
+            sed -E 's/`[^`]*`//g' |
+            grep -oE '\[[^]]*\]\([^)]+\)' |
+            sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/'
+    )
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "all intra-repo markdown links resolve"
+fi
+exit $status

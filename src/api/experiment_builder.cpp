@@ -1,9 +1,12 @@
 #include "api/experiment_builder.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "api/campaign_builder.hpp"
 #include "api/registry.hpp"
 #include "core/factory.hpp"
+#include "util/cli.hpp"
 
 namespace volsched::api {
 
@@ -48,6 +51,18 @@ ExperimentBuilder& ExperimentBuilder::all_heuristics() {
 
 ExperimentBuilder& ExperimentBuilder::greedy_heuristics() {
     return heuristics(core::greedy_heuristic_names());
+}
+
+ExperimentBuilder&
+ExperimentBuilder::heuristic_set(const std::string& description) {
+    if (description == "all") return all_heuristics();
+    if (description == "greedy") return greedy_heuristics();
+    auto specs = util::split_list(description);
+    if (specs.empty())
+        fail("heuristic set '" + description +
+             "' names no specs; want 'all', 'greedy', or a comma-separated "
+             "spec list");
+    return heuristics(std::move(specs));
 }
 
 ExperimentBuilder& ExperimentBuilder::tasks(std::vector<int> values) {
@@ -127,9 +142,7 @@ ExperimentBuilder& ExperimentBuilder::progress(
 }
 
 ExperimentBuilder& ExperimentBuilder::record(
-    std::function<void(const exp::Scenario&, int,
-                       const std::vector<long long>&)>
-        sink) {
+    std::function<void(const exp::InstanceRecord&)> sink) {
     config_.record = std::move(sink);
     return *this;
 }
@@ -147,8 +160,11 @@ void ExperimentBuilder::validate() const {
     require_positive("iterations", config_.run.iterations);
     require_positive("max_slots", config_.run.max_slots);
     if (config_.run.replica_cap < 0) fail("replica_cap is negative");
-    if (config_.tdata_factor < 0 || config_.tprog_factor < 0)
-        fail("tdata/tprog factors must be non-negative");
+    // isfinite also rejects NaN, which every < comparison would wave
+    // through — and which would poison the JSONL campaign headers.
+    if (!std::isfinite(config_.tdata_factor) || config_.tdata_factor < 0 ||
+        !std::isfinite(config_.tprog_factor) || config_.tprog_factor < 0)
+        fail("tdata/tprog factors must be finite and non-negative");
 }
 
 exp::SweepConfig ExperimentBuilder::sweep_config() const {
@@ -163,6 +179,14 @@ const std::vector<std::string>& ExperimentBuilder::heuristic_specs() const {
 exp::SweepResult ExperimentBuilder::run() const {
     validate();
     return exp::run_sweep(config_, heuristics_);
+}
+
+CampaignBuilder ExperimentBuilder::campaign() const {
+    validate();
+    exp::CampaignConfig config;
+    config.sweep = config_;
+    config.heuristics = heuristics_;
+    return CampaignBuilder(std::move(config));
 }
 
 } // namespace volsched::api

@@ -27,6 +27,8 @@
 
 namespace volsched::api {
 
+class CampaignBuilder; // api/campaign_builder.hpp
+
 class ExperimentBuilder {
 public:
     ExperimentBuilder();
@@ -38,6 +40,10 @@ public:
     ExperimentBuilder& all_heuristics();
     /// The eight greedy heuristics (Table 3 / Figure 2 focus).
     ExperimentBuilder& greedy_heuristics();
+    /// CLI-style selection: "all", "greedy", or a comma-separated spec
+    /// list ("emct*,mct,thr50:emct").  One implementation for every tool
+    /// and bench that takes a --heuristics flag.
+    ExperimentBuilder& heuristic_set(const std::string& description);
 
     // Table 1 grid axes.
     ExperimentBuilder& tasks(std::vector<int> values);
@@ -60,10 +66,10 @@ public:
     ExperimentBuilder& threads(std::size_t n);
     ExperimentBuilder&
     progress(std::function<void(long long, long long)> callback);
+    /// Per-instance record hook; wire an exp::ResultSink here to stream raw
+    /// distributions (see API.md "Campaigns").
     ExperimentBuilder&
-    record(std::function<void(const exp::Scenario&, int,
-                              const std::vector<long long>&)>
-               sink);
+    record(std::function<void(const exp::InstanceRecord&)> sink);
 
     /// The validated campaign pieces.  Throws std::invalid_argument on an
     /// empty/invalid heuristic list or a degenerate grid.
@@ -72,6 +78,10 @@ public:
 
     /// Validates and runs the sweep.
     [[nodiscard]] exp::SweepResult run() const;
+
+    /// Hands the validated sweep to a CampaignBuilder for sharded,
+    /// resumable execution with streaming sinks (see API.md "Campaigns").
+    [[nodiscard]] CampaignBuilder campaign() const;
 
 private:
     void validate() const;

@@ -1,0 +1,599 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "api/registry.hpp"
+#include "util/atomic_io.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace volsched::exp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("campaign: " + what);
+}
+
+const char* plan_class_name(sim::SchedulerClass c) {
+    switch (c) {
+    case sim::SchedulerClass::Dynamic: return "dynamic";
+    case sim::SchedulerClass::Passive: return "passive";
+    case sim::SchedulerClass::Proactive: return "proactive";
+    }
+    fail("unknown scheduler class");
+}
+
+sim::SchedulerClass plan_class_from(const std::string& name) {
+    if (name == "dynamic") return sim::SchedulerClass::Dynamic;
+    if (name == "passive") return sim::SchedulerClass::Passive;
+    if (name == "proactive") return sim::SchedulerClass::Proactive;
+    throw std::invalid_argument("campaign: unknown plan class '" + name + "'");
+}
+
+/// FNV-1a 64-bit over a canonical serialization; stable across platforms.
+std::uint64_t fnv1a(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string join_ints(const std::vector<int>& xs) {
+    std::string out;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(xs[i]);
+    }
+    return out;
+}
+
+/// The canonical result-determining description (no shard, no threads).
+std::string canonical_description(const SweepConfig& cfg,
+                                  const std::vector<std::string>& heuristics) {
+    std::string s = "volsched-campaign v1;tasks=" + join_ints(cfg.tasks_values);
+    s += ";ncom=" + join_ints(cfg.ncom_values);
+    s += ";wmin=" + join_ints(cfg.wmin_values);
+    s += ";scenarios=" + std::to_string(cfg.scenarios_per_cell);
+    s += ";trials=" + std::to_string(cfg.trials_per_scenario);
+    s += ";p=" + std::to_string(cfg.p);
+    s += ";tdata=" + util::json::number(cfg.tdata_factor);
+    s += ";tprog=" + util::json::number(cfg.tprog_factor);
+    s += ";seed=" + std::to_string(cfg.master_seed);
+    s += ";iterations=" + std::to_string(cfg.run.iterations);
+    s += ";replica_cap=" + std::to_string(cfg.run.replica_cap);
+    s += ";max_slots=" + std::to_string(cfg.run.max_slots);
+    s += ";plan_class=" + std::string(plan_class_name(cfg.run.plan_class));
+    s += ";heuristics=";
+    for (std::size_t h = 0; h < heuristics.size(); ++h) {
+        if (h) s += ',';
+        s += heuristics[h];
+    }
+    return s;
+}
+
+std::vector<int> parse_int_array(const util::json::Value& v) {
+    std::vector<int> out;
+    for (const auto& item : v.items())
+        out.push_back(static_cast<int>(item.as_i64()));
+    return out;
+}
+
+std::string json_int_array(const std::vector<int>& xs) {
+    return "[" + join_ints(xs) + "]";
+}
+
+/// Replays records for the given jobs through run_sweep's exact reduction:
+/// per-job DfbTable filled in trial order, merged into the overall and
+/// by-key tables in job order.  `source` labels error messages.
+void replay_records(SweepResult& result, const SweepConfig& cfg,
+                    const std::vector<GridJob>& jobs,
+                    const std::vector<InstanceRecord>& records,
+                    const std::string& source) {
+    const std::size_t num_heuristics = result.heuristics.size();
+    const int trials = cfg.trials_per_scenario;
+
+    std::unordered_map<std::uint64_t, std::vector<const InstanceRecord*>>
+        by_ordinal;
+    by_ordinal.reserve(records.size());
+    for (const auto& rec : records)
+        by_ordinal[rec.scenario_ordinal].push_back(&rec);
+
+    std::size_t consumed = 0;
+    for (const GridJob& job : jobs) {
+        auto it = by_ordinal.find(job.ordinal);
+        if (it == by_ordinal.end() ||
+            it->second.size() != static_cast<std::size_t>(trials))
+            fail(source + ": scenario ordinal " + std::to_string(job.ordinal) +
+                 " has " +
+                 std::to_string(it == by_ordinal.end() ? 0
+                                                       : it->second.size()) +
+                 " records, expected " + std::to_string(trials) +
+                 " trials (incomplete, duplicated, or missing shard?)");
+        auto& trial_records = it->second;
+        std::sort(trial_records.begin(), trial_records.end(),
+                  [](const InstanceRecord* a, const InstanceRecord* b) {
+                      return a->trial < b->trial;
+                  });
+        DfbTable local(num_heuristics);
+        for (int t = 0; t < trials; ++t) {
+            const InstanceRecord& rec = *trial_records[static_cast<std::size_t>(t)];
+            if (rec.trial != t)
+                fail(source + ": ordinal " + std::to_string(job.ordinal) +
+                     " has duplicate or missing trial " + std::to_string(t));
+            if (rec.scenario.seed != job.scenario.seed)
+                fail(source + ": ordinal " + std::to_string(job.ordinal) +
+                     " carries seed " + std::to_string(rec.scenario.seed) +
+                     " but the grid expects " +
+                     std::to_string(job.scenario.seed) +
+                     " (records from a different campaign?)");
+            if (rec.makespans.size() != num_heuristics)
+                fail(source + ": ordinal " + std::to_string(job.ordinal) +
+                     " has " + std::to_string(rec.makespans.size()) +
+                     " makespans, expected " +
+                     std::to_string(num_heuristics));
+            local.add_instance(rec.makespans);
+        }
+        consumed += static_cast<std::size_t>(trials);
+        merge_job_tables(result, job.scenario, local);
+    }
+    if (consumed != records.size())
+        fail(source + ": " + std::to_string(records.size() - consumed) +
+             " records do not belong to the expected grid (duplicate shard "
+             "or foreign file?)");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Shard planner
+// ---------------------------------------------------------------------------
+
+std::vector<GridJob> shard_jobs(const SweepConfig& cfg, int shard_index,
+                                int shard_count) {
+    if (shard_count < 1)
+        throw std::invalid_argument("campaign: shard count must be >= 1");
+    if (shard_index < 1 || shard_index > shard_count)
+        throw std::invalid_argument(
+            "campaign: shard index " + std::to_string(shard_index) +
+            " out of range 1.." + std::to_string(shard_count));
+    std::vector<GridJob> all = grid_jobs(cfg);
+    if (shard_count == 1) return all;
+    std::vector<GridJob> mine;
+    mine.reserve(all.size() / static_cast<std::size_t>(shard_count) + 1);
+    for (const GridJob& job : all)
+        if (job.ordinal % static_cast<std::uint64_t>(shard_count) ==
+            static_cast<std::uint64_t>(shard_index - 1))
+            mine.push_back(job);
+    return mine;
+}
+
+std::uint64_t
+campaign_fingerprint(const SweepConfig& cfg,
+                     const std::vector<std::string>& heuristics) {
+    return fnv1a(canonical_description(cfg, heuristics));
+}
+
+// ---------------------------------------------------------------------------
+// JSONL header
+// ---------------------------------------------------------------------------
+
+std::string campaign_header_line(const CampaignConfig& cfg) {
+    const SweepConfig& sw = cfg.sweep;
+    std::string out = "{\"campaign\":{\"version\":1,\"fingerprint\":";
+    out += std::to_string(campaign_fingerprint(sw, cfg.heuristics));
+    out += ",\"shard\":";
+    out += std::to_string(cfg.shard_index);
+    out += ",\"shards\":";
+    out += std::to_string(cfg.shard_count);
+    out += ",\"heuristics\":[";
+    for (std::size_t h = 0; h < cfg.heuristics.size(); ++h) {
+        if (h) out += ',';
+        out += '"' + util::json::escape(cfg.heuristics[h]) + '"';
+    }
+    out += "],\"tasks\":" + json_int_array(sw.tasks_values);
+    out += ",\"ncom\":" + json_int_array(sw.ncom_values);
+    out += ",\"wmin\":" + json_int_array(sw.wmin_values);
+    out += ",\"scenarios_per_cell\":" + std::to_string(sw.scenarios_per_cell);
+    out += ",\"trials_per_scenario\":" +
+           std::to_string(sw.trials_per_scenario);
+    out += ",\"p\":" + std::to_string(sw.p);
+    out += ",\"tdata_factor\":" + util::json::number(sw.tdata_factor);
+    out += ",\"tprog_factor\":" + util::json::number(sw.tprog_factor);
+    out += ",\"master_seed\":" + std::to_string(sw.master_seed);
+    out += ",\"iterations\":" + std::to_string(sw.run.iterations);
+    out += ",\"replica_cap\":" + std::to_string(sw.run.replica_cap);
+    out += ",\"max_slots\":" + std::to_string(sw.run.max_slots);
+    out += ",\"plan_class\":\"";
+    out += plan_class_name(sw.run.plan_class);
+    out += "\"}}";
+    return out;
+}
+
+CampaignHeader parse_campaign_header(const std::string& line) {
+    const auto doc = util::json::Value::parse(line);
+    const auto& c = doc.at("campaign");
+    if (c.at("version").as_i64() != 1)
+        throw std::invalid_argument("campaign: unsupported header version");
+    CampaignHeader header;
+    header.fingerprint = c.at("fingerprint").as_u64();
+    header.shard_index = static_cast<int>(c.at("shard").as_i64());
+    header.shard_count = static_cast<int>(c.at("shards").as_i64());
+    // The fingerprint deliberately excludes the shard fields, so they need
+    // their own validation here — for merge, status, and resume at once.
+    if (header.shard_count < 1 || header.shard_index < 1 ||
+        header.shard_index > header.shard_count)
+        throw std::invalid_argument(
+            "campaign: header names shard " +
+            std::to_string(header.shard_index) + " of " +
+            std::to_string(header.shard_count) + ", which is out of range");
+    for (const auto& h : c.at("heuristics").items())
+        header.heuristics.push_back(h.as_string());
+    SweepConfig& sw = header.sweep;
+    sw.tasks_values = parse_int_array(c.at("tasks"));
+    sw.ncom_values = parse_int_array(c.at("ncom"));
+    sw.wmin_values = parse_int_array(c.at("wmin"));
+    sw.scenarios_per_cell =
+        static_cast<int>(c.at("scenarios_per_cell").as_i64());
+    sw.trials_per_scenario =
+        static_cast<int>(c.at("trials_per_scenario").as_i64());
+    sw.p = static_cast<int>(c.at("p").as_i64());
+    sw.tdata_factor = c.at("tdata_factor").as_double();
+    sw.tprog_factor = c.at("tprog_factor").as_double();
+    sw.master_seed = c.at("master_seed").as_u64();
+    sw.run.iterations = static_cast<int>(c.at("iterations").as_i64());
+    sw.run.replica_cap = static_cast<int>(c.at("replica_cap").as_i64());
+    sw.run.max_slots = c.at("max_slots").as_i64();
+    sw.run.plan_class = plan_class_from(c.at("plan_class").as_string());
+    if (campaign_fingerprint(sw, header.heuristics) != header.fingerprint)
+        throw std::invalid_argument(
+            "campaign: header fingerprint does not match its configuration "
+            "(tampered or version-skewed shard file)");
+    return header;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+std::filesystem::path manifest_path(const std::filesystem::path& dir) {
+    return dir / "MANIFEST";
+}
+
+void write_manifest(const std::filesystem::path& dir,
+                    const CampaignManifest& m) {
+    std::string out = "volsched-campaign-manifest 1\n";
+    out += "fingerprint " + std::to_string(m.fingerprint) + "\n";
+    out += "shard " + std::to_string(m.shard_index) + " " +
+           std::to_string(m.shard_count) + "\n";
+    out += "jobs " + std::to_string(m.jobs_done) + " " +
+           std::to_string(m.jobs_total) + "\n";
+    out += "instances " + std::to_string(m.instances_done) + "\n";
+    out += "jsonl " + std::to_string(m.jsonl_bytes) + "\n";
+    out += "csv " + std::to_string(m.csv_bytes) + "\n";
+    out += "complete " + std::string(m.complete ? "1" : "0") + "\n";
+    util::write_file_atomic(manifest_path(dir), out);
+}
+
+std::optional<CampaignManifest>
+read_manifest(const std::filesystem::path& dir) {
+    const auto path = manifest_path(dir);
+    if (!std::filesystem::exists(path)) return std::nullopt;
+    std::istringstream in(util::read_text_file(path));
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    if (magic != "volsched-campaign-manifest" || version != 1)
+        fail("malformed manifest '" + path.string() + "'");
+    CampaignManifest m;
+    std::string key;
+    while (in >> key) {
+        if (key == "fingerprint") in >> m.fingerprint;
+        else if (key == "shard") in >> m.shard_index >> m.shard_count;
+        else if (key == "jobs") in >> m.jobs_done >> m.jobs_total;
+        else if (key == "instances") in >> m.instances_done;
+        else if (key == "jsonl") in >> m.jsonl_bytes;
+        else if (key == "csv") in >> m.csv_bytes;
+        else if (key == "complete") {
+            int c = 0;
+            in >> c;
+            m.complete = c != 0;
+        } else {
+            fail("unknown manifest key '" + key + "' in '" + path.string() +
+                 "'");
+        }
+        if (in.fail())
+            fail("malformed manifest value for '" + key + "' in '" +
+                 path.string() + "'");
+    }
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// Shard run loop
+// ---------------------------------------------------------------------------
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+    if (cfg.directory.empty())
+        throw std::invalid_argument("campaign: no output directory");
+    if (cfg.checkpoint_jobs < 1)
+        throw std::invalid_argument("campaign: checkpoint_jobs must be >= 1");
+    if (cfg.heuristics.empty())
+        throw std::invalid_argument("campaign: no heuristics");
+    for (const auto& name : cfg.heuristics)
+        api::SchedulerRegistry::instance().validate(name);
+
+    const std::vector<GridJob> jobs =
+        shard_jobs(cfg.sweep, cfg.shard_index, cfg.shard_count);
+    const std::uint64_t fingerprint =
+        campaign_fingerprint(cfg.sweep, cfg.heuristics);
+    const int trials = cfg.sweep.trials_per_scenario;
+    const std::size_t num_heuristics = cfg.heuristics.size();
+
+    std::filesystem::create_directories(cfg.directory);
+    const auto jsonl_file = cfg.directory / "records.jsonl";
+    const auto csv_file = cfg.directory / "records.csv";
+
+    std::optional<CampaignManifest> previous;
+    if (cfg.resume) previous = read_manifest(cfg.directory);
+    if (!previous) {
+        // Fresh start — either requested, or no durable checkpoint exists
+        // (e.g. a previous run was killed before its first manifest, whose
+        // un-checkpointed records must not survive).
+        std::filesystem::remove(manifest_path(cfg.directory));
+        std::filesystem::remove(jsonl_file);
+        std::filesystem::remove(csv_file);
+    }
+
+    if (previous) {
+        if (previous->fingerprint != fingerprint)
+            fail("manifest in '" + cfg.directory.string() +
+                 "' belongs to a different campaign configuration; use a "
+                 "fresh directory or disable resume");
+        if (previous->shard_index != cfg.shard_index ||
+            previous->shard_count != cfg.shard_count)
+            fail("manifest in '" + cfg.directory.string() + "' is shard " +
+                 std::to_string(previous->shard_index) + "/" +
+                 std::to_string(previous->shard_count) +
+                 ", not the requested " + std::to_string(cfg.shard_index) +
+                 "/" + std::to_string(cfg.shard_count));
+        if (previous->jobs_total != static_cast<long long>(jobs.size()))
+            fail("manifest job count disagrees with the grid");
+        if (previous->jobs_done < 0 ||
+            previous->jobs_done > previous->jobs_total)
+            fail("manifest checkpoints " +
+                 std::to_string(previous->jobs_done) + " of " +
+                 std::to_string(previous->jobs_total) +
+                 " jobs, which is impossible (corrupted manifest?)");
+        if (cfg.write_csv != (previous->csv_bytes > 0))
+            fail("the CSV sink cannot be toggled across a resume");
+    }
+
+    JsonlSink jsonl(jsonl_file, campaign_header_line(cfg));
+    std::optional<CsvSink> csv;
+    if (cfg.write_csv) csv.emplace(csv_file, cfg.heuristics);
+
+    CampaignResult result(cfg.heuristics);
+    result.jobs_total = static_cast<long long>(jobs.size());
+    result.jsonl_path = jsonl_file;
+
+    long long jobs_done = 0;
+    if (previous) {
+        // The resume contract: truncate each sink to the last durable
+        // checkpoint, then rebuild the shard-local tables by replaying the
+        // surviving records through the canonical reduction.
+        jsonl.resume_at(previous->jsonl_bytes);
+        if (csv) csv->resume_at(previous->csv_bytes);
+        jobs_done = previous->jobs_done;
+
+        const auto [header, records] = read_shard_records(jsonl_file);
+        if (header.fingerprint != fingerprint)
+            fail("records.jsonl header disagrees with the manifest");
+        if (static_cast<long long>(records.size()) != jobs_done * trials)
+            fail("records.jsonl holds " + std::to_string(records.size()) +
+                 " records but the manifest checkpointed " +
+                 std::to_string(jobs_done * trials));
+        const std::vector<GridJob> done_jobs(
+            jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(jobs_done));
+        replay_records(result.tables, cfg.sweep, done_jobs, records,
+                       "resume");
+    }
+
+    CampaignManifest manifest;
+    manifest.fingerprint = fingerprint;
+    manifest.shard_index = cfg.shard_index;
+    manifest.shard_count = cfg.shard_count;
+    manifest.jobs_total = static_cast<long long>(jobs.size());
+
+    const long long shard_instances_total =
+        static_cast<long long>(jobs.size()) * trials;
+    std::atomic<long long> instances_done{jobs_done * trials};
+
+    util::ThreadPool pool(cfg.sweep.threads);
+    int batches_run = 0;
+    while (jobs_done < static_cast<long long>(jobs.size())) {
+        if (cfg.stop_after_batches > 0 &&
+            batches_run >= cfg.stop_after_batches)
+            break;
+        const std::size_t batch_begin = static_cast<std::size_t>(jobs_done);
+        const std::size_t batch_end =
+            std::min(jobs.size(), batch_begin +
+                                      static_cast<std::size_t>(
+                                          cfg.checkpoint_jobs));
+        const std::size_t batch_size = batch_end - batch_begin;
+
+        // Compute the batch in parallel; only bounded per-batch state is
+        // held (checkpoint_jobs x trials records), never the whole sweep.
+        std::vector<DfbTable> local(batch_size, DfbTable(num_heuristics));
+        std::vector<std::vector<InstanceRecord>> batch_records(batch_size);
+        pool.parallel_for(batch_size, [&](std::size_t i) {
+            const GridJob& job = jobs[batch_begin + i];
+            const RealizedScenario rs = realize(job.scenario);
+            batch_records[i].reserve(static_cast<std::size_t>(trials));
+            for (int trial = 0; trial < trials; ++trial) {
+                const std::uint64_t trial_seed = util::mix_seed(
+                    cfg.sweep.master_seed, 0x54524cULL, job.ordinal,
+                    static_cast<std::uint64_t>(trial));
+                auto outcome =
+                    run_instance(rs, job.scenario.tasks, cfg.heuristics,
+                                 cfg.sweep.run, trial_seed);
+                local[i].add_instance(outcome.makespans);
+                InstanceRecord rec;
+                rec.scenario_ordinal = job.ordinal;
+                rec.trial = trial;
+                rec.scenario = job.scenario;
+                rec.makespans = std::move(outcome.makespans);
+                batch_records[i].push_back(std::move(rec));
+                const long long done = ++instances_done;
+                if (cfg.sweep.progress)
+                    cfg.sweep.progress(done, shard_instances_total);
+            }
+        });
+
+        // Deterministic emission: records leave in (ordinal, trial) order
+        // regardless of which worker finished first.
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            for (const InstanceRecord& rec : batch_records[i]) {
+                jsonl.write(rec);
+                if (csv) csv->write(rec);
+                if (cfg.sweep.record) cfg.sweep.record(rec);
+            }
+            merge_job_tables(result.tables, jobs[batch_begin + i].scenario,
+                             local[i]);
+        }
+        jsonl.flush();
+        if (csv) csv->flush();
+
+        jobs_done = static_cast<long long>(batch_end);
+        manifest.jobs_done = jobs_done;
+        manifest.instances_done = jobs_done * trials;
+        manifest.jsonl_bytes = jsonl.offset();
+        manifest.csv_bytes = csv ? csv->offset() : 0;
+        manifest.complete = jobs_done == static_cast<long long>(jobs.size());
+        write_manifest(cfg.directory, manifest);
+        ++batches_run;
+    }
+
+    result.jobs_done = jobs_done;
+    result.instances_done = jobs_done * trials;
+    result.complete = jobs_done == static_cast<long long>(jobs.size());
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+std::pair<CampaignHeader, std::vector<InstanceRecord>>
+read_shard_records(const std::filesystem::path& jsonl_file) {
+    const std::string text = util::read_text_file(jsonl_file);
+    std::size_t pos = 0;
+    auto next_line = [&]() -> std::optional<std::string_view> {
+        if (pos >= text.size()) return std::nullopt;
+        const std::size_t nl = text.find('\n', pos);
+        const std::size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string_view line(text.data() + pos, end - pos);
+        pos = end + 1;
+        return line;
+    };
+
+    const auto header_line = next_line();
+    if (!header_line)
+        fail("'" + jsonl_file.string() + "' is empty");
+    CampaignHeader header = parse_campaign_header(std::string(*header_line));
+
+    std::vector<InstanceRecord> records;
+    while (const auto line = next_line()) {
+        if (line->empty()) continue;
+        try {
+            records.push_back(JsonlSink::parse_record(*line));
+        } catch (const std::invalid_argument& e) {
+            fail("'" + jsonl_file.string() + "' holds a malformed record (" +
+                 e.what() + "); was the shard killed without a checkpoint? "
+                 "resume it to self-heal, or delete the torn tail");
+        }
+    }
+    return {std::move(header), std::move(records)};
+}
+
+SweepResult aggregate_records(const SweepConfig& cfg,
+                              const std::vector<std::string>& heuristics,
+                              const std::vector<InstanceRecord>& records) {
+    SweepResult result(heuristics);
+    replay_records(result, cfg, grid_jobs(cfg), records, "aggregate");
+    return result;
+}
+
+SweepResult
+merge_shards(const std::vector<std::filesystem::path>& jsonl_files) {
+    if (jsonl_files.empty()) fail("merge: no shard files");
+    std::optional<CampaignHeader> reference;
+    std::vector<InstanceRecord> records;
+    std::vector<bool> seen_shard;
+    for (const auto& file : jsonl_files) {
+        auto [header, shard_records] = read_shard_records(file);
+        if (!reference) {
+            reference = header;
+            seen_shard.assign(
+                static_cast<std::size_t>(header.shard_count), false);
+        } else {
+            if (header.fingerprint != reference->fingerprint)
+                fail("merge: '" + file.string() +
+                     "' belongs to a different campaign (fingerprint "
+                     "mismatch)");
+            if (header.shard_count != reference->shard_count)
+                fail("merge: '" + file.string() +
+                     "' disagrees on the shard count");
+        }
+        const auto slot = static_cast<std::size_t>(header.shard_index - 1);
+        if (header.shard_index < 1 ||
+            header.shard_index > header.shard_count || seen_shard[slot])
+            fail("merge: shard " + std::to_string(header.shard_index) +
+                 " appears twice or is out of range");
+        seen_shard[slot] = true;
+        records.insert(records.end(),
+                       std::make_move_iterator(shard_records.begin()),
+                       std::make_move_iterator(shard_records.end()));
+    }
+    for (std::size_t k = 0; k < seen_shard.size(); ++k)
+        if (!seen_shard[k])
+            fail("merge: shard " + std::to_string(k + 1) + " of " +
+                 std::to_string(seen_shard.size()) + " is missing");
+    return aggregate_records(reference->sweep, reference->heuristics,
+                             records);
+}
+
+// ---------------------------------------------------------------------------
+// Directory layout
+// ---------------------------------------------------------------------------
+
+std::string shard_directory_name(int shard_index, int shard_count) {
+    return "shard-" + std::to_string(shard_index) + "-of-" +
+           std::to_string(shard_count);
+}
+
+std::vector<std::filesystem::path>
+find_shard_directories(const std::filesystem::path& root) {
+    std::vector<std::filesystem::path> dirs;
+    if (!std::filesystem::is_directory(root)) return dirs;
+    for (const auto& entry : std::filesystem::directory_iterator(root)) {
+        if (!entry.is_directory()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("shard-", 0) != 0) continue;
+        if (!std::filesystem::exists(entry.path() / "records.jsonl"))
+            continue;
+        dirs.push_back(entry.path());
+    }
+    std::sort(dirs.begin(), dirs.end());
+    return dirs;
+}
+
+} // namespace volsched::exp

@@ -1,0 +1,169 @@
+#pragma once
+/// \file campaign.hpp
+/// Campaign-scale sweeps: the Table-1 grid split into shards that run on
+/// independent machines, stream per-instance records to durable sinks,
+/// checkpoint their progress atomically, resume after interruption without
+/// recomputation or duplicate records, and merge back into the paper's
+/// overall / by-wmin / by-tasks / by-ncom tables **bit-identically** to a
+/// single unsharded run_sweep.
+///
+/// Three properties make that possible:
+///
+///  1. *Shard-invariant seeding.*  Every scenario and trial derives its RNG
+///     streams from (master seed, global grid ordinal, trial index) — never
+///     from the shard, batch, or thread that happens to run it.  Shard k of
+///     N takes the ordinals congruent to k-1 mod N (round-robin keeps the
+///     grid cells balanced), so the union of shard outputs is exactly the
+///     unsharded instance set.
+///
+///  2. *Deterministic emission.*  Jobs run on a thread pool, but records
+///     are written to the sinks in (ordinal, trial) order at batch
+///     boundaries, so a shard's JSONL file is byte-identical across runs
+///     and thread counts.
+///
+///  3. *Canonical aggregation.*  The merge step replays records through the
+///     exact reduction run_sweep performs (per-job DfbTable built in trial
+///     order, merged in ordinal order), so the floating-point operation
+///     sequence — and therefore every digit of the tables — matches.
+///
+/// Durability model: after every `checkpoint_jobs` scenario draws the
+/// runner flushes the sinks and atomically replaces the MANIFEST file
+/// (fingerprint, jobs done, per-sink byte offsets).  On resume the sinks
+/// are truncated to the manifest's offsets, discarding any torn tail a
+/// killed process left behind, and the shard-local tables are rebuilt by
+/// replaying the surviving records.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sink.hpp"
+#include "exp/sweep.hpp"
+
+namespace volsched::exp {
+
+/// A campaign is a sweep plus sharding, output, and checkpoint knobs.
+struct CampaignConfig {
+    SweepConfig sweep;
+    std::vector<std::string> heuristics;
+    /// Shard output directory; receives records.jsonl, optionally
+    /// records.csv, and MANIFEST.
+    std::filesystem::path directory;
+    int shard_index = 1; ///< 1-based k of shard_count
+    int shard_count = 1;
+    /// Checkpoint cadence in scenario draws (jobs); also the unit of work
+    /// lost on a kill.  Larger batches amortize the flush + manifest write.
+    int checkpoint_jobs = 8;
+    bool write_csv = false; ///< records.csv next to the JSONL stream
+    /// Pick up an existing MANIFEST in `directory` (fingerprint-checked);
+    /// false starts fresh, discarding previous outputs.
+    bool resume = true;
+    /// Stop after this many checkpoint batches (0: run to completion).
+    /// Supports time-sliced operation and the kill/resume tests.
+    int stop_after_batches = 0;
+};
+
+struct CampaignResult {
+    /// Shard-local aggregate tables (resumed records included).
+    SweepResult tables;
+    long long jobs_total = 0;
+    long long jobs_done = 0;
+    long long instances_done = 0;
+    bool complete = false;
+    std::filesystem::path jsonl_path;
+
+    explicit CampaignResult(std::vector<std::string> names)
+        : tables(std::move(names)) {}
+};
+
+/// The deterministic shard planner: jobs of the full grid whose ordinal is
+/// congruent to shard_index-1 modulo shard_count.  Throws
+/// std::invalid_argument on an out-of-range shard.
+std::vector<GridJob> shard_jobs(const SweepConfig& cfg, int shard_index,
+                                int shard_count);
+
+/// Order-sensitive hash of everything that determines campaign results
+/// (grid axes, counts, engine knobs, master seed, heuristic specs) —
+/// deliberately excluding shard index and thread count.  Guards resume and
+/// merge against mixing incompatible runs.
+std::uint64_t campaign_fingerprint(const SweepConfig& cfg,
+                                   const std::vector<std::string>& heuristics);
+
+/// Self-description written as the first line of every shard JSONL file:
+/// the full sweep configuration, heuristic list, shard position, and
+/// fingerprint, so merge/status need no side-channel configuration.
+std::string campaign_header_line(const CampaignConfig& cfg);
+
+struct CampaignHeader {
+    SweepConfig sweep; ///< progress/record hooks empty, threads defaulted
+    std::vector<std::string> heuristics;
+    int shard_index = 1;
+    int shard_count = 1;
+    std::uint64_t fingerprint = 0;
+};
+
+/// Strict inverse of campaign_header_line; recomputes the fingerprint from
+/// the parsed configuration and throws std::invalid_argument when it does
+/// not match the stored one (tampered or version-skewed file).
+CampaignHeader parse_campaign_header(const std::string& line);
+
+/// Compact progress manifest, replaced atomically at every checkpoint.
+struct CampaignManifest {
+    std::uint64_t fingerprint = 0;
+    int shard_index = 1;
+    int shard_count = 1;
+    long long jobs_done = 0;
+    long long jobs_total = 0;
+    long long instances_done = 0;
+    std::uint64_t jsonl_bytes = 0;
+    std::uint64_t csv_bytes = 0; ///< 0 when the CSV sink is disabled
+    bool complete = false;
+};
+
+std::filesystem::path manifest_path(const std::filesystem::path& dir);
+void write_manifest(const std::filesystem::path& dir,
+                    const CampaignManifest& m);
+/// std::nullopt when no manifest exists; throws on a malformed one.
+std::optional<CampaignManifest>
+read_manifest(const std::filesystem::path& dir);
+
+/// Runs (or resumes) one shard of the campaign.  Returns after the shard
+/// completes or after `stop_after_batches` checkpoints.  Throws
+/// std::runtime_error when an existing manifest does not match the
+/// configuration (fingerprint or shard position).
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+/// Canonical aggregation: validates that `records` is exactly the full
+/// grid's instance set (no missing, duplicate, or foreign records; seeds
+/// and makespan arities cross-checked) and replays it through run_sweep's
+/// reduction.  The result is bit-identical to run_sweep(cfg, heuristics).
+SweepResult aggregate_records(const SweepConfig& cfg,
+                              const std::vector<std::string>& heuristics,
+                              const std::vector<InstanceRecord>& records);
+
+/// Reads shard JSONL files (headers must agree on the fingerprint), pools
+/// their records, and aggregates them canonically.  Throws when shards are
+/// missing, duplicated, or inconsistent.
+///
+/// Memory: the merge currently holds every record of every shard at once —
+/// fine through paper scale (~300k instances), but 10^6-scenario campaigns
+/// will want the streaming k-way merge the per-shard (ordinal, trial)
+/// emission order already permits (see ROADMAP open items).
+SweepResult merge_shards(const std::vector<std::filesystem::path>& jsonl_files);
+
+/// Reads one shard JSONL file: header + records.
+std::pair<CampaignHeader, std::vector<InstanceRecord>>
+read_shard_records(const std::filesystem::path& jsonl_file);
+
+/// Directory layout helpers: a campaign root holds one sub-directory per
+/// shard, named shard-<k>-of-<N>.
+std::string shard_directory_name(int shard_index, int shard_count);
+/// Shard directories under `root` (sorted by name); only directories that
+/// contain a records.jsonl count.
+std::vector<std::filesystem::path>
+find_shard_directories(const std::filesystem::path& root);
+
+} // namespace volsched::exp

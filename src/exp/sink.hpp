@@ -1,0 +1,129 @@
+#pragma once
+/// \file sink.hpp
+/// Streaming result sinks for experiment campaigns.  Instead of holding
+/// every per-instance makespan vector in memory, a sweep streams one
+/// InstanceRecord per (scenario, trial) instance into a ResultSink; the
+/// JSONL sink is the campaign's durable, self-describing record (and the
+/// input to shard merging and resume), the CSV sink is a spreadsheet-
+/// friendly export.
+///
+/// The JSONL line format is canonical — fixed field order, shortest
+/// round-trip numbers — so two runs that produce the same instances produce
+/// byte-identical files, which is what makes "killed and resumed equals
+/// uninterrupted" testable at the byte level.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace volsched::exp {
+
+/// One experiment instance: a scenario draw (identified by its global
+/// position in the Table-1 grid enumeration), a trial index, and the
+/// per-heuristic makespans (aligned with the campaign's heuristic list).
+struct InstanceRecord {
+    std::uint64_t scenario_ordinal = 0; ///< grid-global, shard-invariant
+    int trial = 0;
+    Scenario scenario;
+    std::vector<long long> makespans;
+};
+
+/// Abstract streaming consumer of instance records.  Implementations are
+/// called from one thread at a time (the sweep/campaign drivers serialize
+/// emission) and need no locking.
+class ResultSink {
+public:
+    virtual ~ResultSink() = default;
+    virtual void write(const InstanceRecord& rec) = 0;
+    /// Makes everything written so far durable (file sinks fsync): called
+    /// once per checkpoint batch, right before the manifest is replaced.
+    virtual void flush() = 0;
+};
+
+/// Shared append-to-file machinery: byte-offset accounting (the checkpoint
+/// currency) and truncate-to-offset resume.
+class FileResultSink : public ResultSink {
+public:
+    ~FileResultSink() override;
+
+    FileResultSink(const FileResultSink&) = delete;
+    FileResultSink& operator=(const FileResultSink&) = delete;
+
+    void write(const InstanceRecord& rec) override;
+    void flush() override;
+
+    /// Bytes in the file so far (header included); what a campaign
+    /// checkpoint manifest records per sink.
+    [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept {
+        return path_;
+    }
+
+    /// The resume contract: truncates the file to `offset` bytes — exactly
+    /// the state of the last durable checkpoint — and continues appending
+    /// from there.  Bytes written after that checkpoint (possibly a torn
+    /// line from a killed process) are discarded, so a resumed campaign
+    /// adds zero duplicate records.  Throws std::runtime_error if the file
+    /// is shorter than `offset`.
+    void resume_at(std::uint64_t offset);
+
+protected:
+    /// Opens `path` for appending, creating it (plus parent directories)
+    /// when absent; `header` is written first iff the file is new/empty.
+    FileResultSink(std::filesystem::path path, const std::string& header);
+
+    /// Formats one record as a complete line/row (newline included).
+    [[nodiscard]] virtual std::string format(const InstanceRecord& rec)
+        const = 0;
+
+private:
+    void open_append();
+    void append(std::string_view text);
+
+    std::filesystem::path path_;
+    std::FILE* file_ = nullptr;
+    std::uint64_t offset_ = 0;
+};
+
+/// JSON-lines sink: one self-contained object per instance, preceded by a
+/// caller-supplied header line (the campaign writes its metadata there).
+///
+///   {"ordinal":12,"trial":0,"p":20,"tasks":5,"ncom":5,"wmin":1,
+///    "tdata_factor":1,"tprog_factor":5,"seed":123,"makespans":[100,120]}
+class JsonlSink final : public FileResultSink {
+public:
+    /// `header_line` (without trailing newline) is written first when the
+    /// file is new; pass "" for a headerless stream.
+    explicit JsonlSink(std::filesystem::path path,
+                       const std::string& header_line = {});
+
+    /// Canonical record line (no trailing newline).
+    static std::string format_record(const InstanceRecord& rec);
+    /// Strict inverse of format_record; throws std::invalid_argument on
+    /// malformed input.  The scenario's chain recipe is the paper default
+    /// (records do not carry it).
+    static InstanceRecord parse_record(std::string_view line);
+
+protected:
+    std::string format(const InstanceRecord& rec) const override;
+};
+
+/// CSV sink: header row names the scenario columns and one makespan column
+/// per heuristic spec.
+class CsvSink final : public FileResultSink {
+public:
+    CsvSink(std::filesystem::path path,
+            const std::vector<std::string>& heuristics);
+
+    static std::string header_row(const std::vector<std::string>& heuristics);
+
+protected:
+    std::string format(const InstanceRecord& rec) const override;
+};
+
+} // namespace volsched::exp

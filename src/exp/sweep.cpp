@@ -8,14 +8,31 @@
 #include "util/thread_pool.hpp"
 
 namespace volsched::exp {
-namespace {
 
-struct Job {
-    Scenario scenario;
-    std::uint64_t scenario_ordinal; // global, seeds the scenario and trials
-};
-
-} // namespace
+std::vector<GridJob> grid_jobs(const SweepConfig& cfg) {
+    std::vector<GridJob> jobs;
+    jobs.reserve(cfg.tasks_values.size() * cfg.ncom_values.size() *
+                 cfg.wmin_values.size() *
+                 static_cast<std::size_t>(cfg.scenarios_per_cell));
+    std::uint64_t ordinal = 0;
+    for (int tasks : cfg.tasks_values)
+        for (int ncom : cfg.ncom_values)
+            for (int wmin : cfg.wmin_values)
+                for (int s = 0; s < cfg.scenarios_per_cell; ++s) {
+                    GridJob job;
+                    job.scenario.p = cfg.p;
+                    job.scenario.tasks = tasks;
+                    job.scenario.ncom = ncom;
+                    job.scenario.wmin = wmin;
+                    job.scenario.tdata_factor = cfg.tdata_factor;
+                    job.scenario.tprog_factor = cfg.tprog_factor;
+                    job.scenario.seed =
+                        util::mix_seed(cfg.master_seed, 0x5343u, ordinal);
+                    job.ordinal = ordinal++;
+                    jobs.push_back(job);
+                }
+    return jobs;
+}
 
 SweepResult run_sweep(const SweepConfig& cfg,
                       const std::vector<std::string>& heuristics) {
@@ -27,25 +44,7 @@ SweepResult run_sweep(const SweepConfig& cfg,
 
     SweepResult result(heuristics);
 
-    // Enumerate jobs: one per (cell, scenario draw).
-    std::vector<Job> jobs;
-    std::uint64_t ordinal = 0;
-    for (int tasks : cfg.tasks_values)
-        for (int ncom : cfg.ncom_values)
-            for (int wmin : cfg.wmin_values)
-                for (int s = 0; s < cfg.scenarios_per_cell; ++s) {
-                    Job job;
-                    job.scenario.p = cfg.p;
-                    job.scenario.tasks = tasks;
-                    job.scenario.ncom = ncom;
-                    job.scenario.wmin = wmin;
-                    job.scenario.tdata_factor = cfg.tdata_factor;
-                    job.scenario.tprog_factor = cfg.tprog_factor;
-                    job.scenario.seed =
-                        util::mix_seed(cfg.master_seed, 0x5343u, ordinal);
-                    job.scenario_ordinal = ordinal++;
-                    jobs.push_back(job);
-                }
+    const std::vector<GridJob> jobs = grid_jobs(cfg);
 
     const long long total_instances =
         static_cast<long long>(jobs.size()) * cfg.trials_per_scenario;
@@ -58,36 +57,45 @@ SweepResult run_sweep(const SweepConfig& cfg,
     util::ThreadPool pool(cfg.threads);
     std::mutex record_mutex;
     pool.parallel_for(jobs.size(), [&](std::size_t j) {
-        const Job& job = jobs[j];
+        const GridJob& job = jobs[j];
         const RealizedScenario rs = realize(job.scenario);
         for (int trial = 0; trial < cfg.trials_per_scenario; ++trial) {
-            const std::uint64_t trial_seed = util::mix_seed(
-                cfg.master_seed, 0x54524cULL, job.scenario_ordinal,
-                static_cast<std::uint64_t>(trial));
+            const std::uint64_t trial_seed =
+                util::mix_seed(cfg.master_seed, 0x54524cULL, job.ordinal,
+                               static_cast<std::uint64_t>(trial));
             const auto outcome = run_instance(rs, job.scenario.tasks,
                                               heuristics, cfg.run, trial_seed);
             local[j].add_instance(outcome.makespans);
             if (cfg.record) {
+                InstanceRecord rec;
+                rec.scenario_ordinal = job.ordinal;
+                rec.trial = trial;
+                rec.scenario = job.scenario;
+                rec.makespans = outcome.makespans;
                 std::lock_guard lock(record_mutex);
-                cfg.record(job.scenario, trial, outcome.makespans);
+                cfg.record(rec);
             }
             const long long done = ++completed;
             if (cfg.progress) cfg.progress(done, total_instances);
         }
     });
 
-    auto merge_into = [&](std::map<int, DfbTable>& table, int key,
-                          const DfbTable& part) {
-        auto [it, inserted] = table.try_emplace(key, heuristics.size());
-        it->second.merge(part);
-    };
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-        result.overall.merge(local[j]);
-        merge_into(result.by_wmin, jobs[j].scenario.wmin, local[j]);
-        merge_into(result.by_tasks, jobs[j].scenario.tasks, local[j]);
-        merge_into(result.by_ncom, jobs[j].scenario.ncom, local[j]);
-    }
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        merge_job_tables(result, jobs[j].scenario, local[j]);
     return result;
+}
+
+void merge_job_tables(SweepResult& result, const Scenario& scenario,
+                      const DfbTable& local) {
+    const std::size_t num_heuristics = result.heuristics.size();
+    auto merge_into = [&](std::map<int, DfbTable>& table, int key) {
+        auto [it, inserted] = table.try_emplace(key, num_heuristics);
+        it->second.merge(local);
+    };
+    result.overall.merge(local);
+    merge_into(result.by_wmin, scenario.wmin);
+    merge_into(result.by_tasks, scenario.tasks);
+    merge_into(result.by_ncom, scenario.ncom);
 }
 
 } // namespace volsched::exp

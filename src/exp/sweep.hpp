@@ -14,6 +14,7 @@
 #include "exp/dfb.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sink.hpp"
 
 namespace volsched::exp {
 
@@ -31,14 +32,26 @@ struct SweepConfig {
     std::size_t threads = 0; ///< 0: hardware concurrency
     /// Optional progress callback (instances completed, instances total).
     std::function<void(long long, long long)> progress;
-    /// Optional raw-result sink, called once per instance with the scenario,
-    /// the trial index, and the per-heuristic makespans (aligned with the
-    /// sweep's heuristic list).  Serialized by the driver: implementations
-    /// need no locking.  Useful for exporting full distributions.
-    std::function<void(const Scenario&, int,
-                       const std::vector<long long>&)>
-        record;
+    /// Optional raw-result hook, called once per instance with the full
+    /// InstanceRecord (scenario, grid ordinal, trial, per-heuristic
+    /// makespans).  Serialized by the driver: implementations need no
+    /// locking.  Wire a ResultSink here to export full distributions:
+    ///   cfg.record = [&](const InstanceRecord& r) { sink.write(r); };
+    std::function<void(const InstanceRecord&)> record;
 };
+
+/// One scenario draw of the Table-1 grid, tagged with its global position
+/// in the enumeration.  The ordinal — not the thread, not the shard —
+/// seeds the scenario and its trials, which is what makes sweep results
+/// independent of thread count and campaign sharding.
+struct GridJob {
+    Scenario scenario;
+    std::uint64_t ordinal = 0;
+};
+
+/// Enumerates the full grid in canonical order (tasks, ncom, wmin, draw),
+/// deriving each scenario's seed from the master seed and its ordinal.
+std::vector<GridJob> grid_jobs(const SweepConfig& cfg);
 
 struct SweepResult {
     std::vector<std::string> heuristics;
@@ -57,5 +70,13 @@ struct SweepResult {
 /// Runs the sweep; deterministic for a fixed config regardless of threads.
 SweepResult run_sweep(const SweepConfig& cfg,
                       const std::vector<std::string>& heuristics);
+
+/// The canonical per-job reduction step: merges one job's local table into
+/// the overall and by-wmin/by-tasks/by-ncom tables.  run_sweep, the
+/// campaign runner, and the shard-merge replay all reduce through this one
+/// function — the merging order is the bit-identical contract between
+/// sharded and unsharded results, so it lives in exactly one place.
+void merge_job_tables(SweepResult& result, const Scenario& scenario,
+                      const DfbTable& local);
 
 } // namespace volsched::exp

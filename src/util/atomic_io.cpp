@@ -1,0 +1,60 @@
+#include "util/atomic_io.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace volsched::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path, const char* what) {
+    throw std::runtime_error("atomic_io: " + std::string(what) + " '" +
+                             path.string() + "'");
+}
+
+} // namespace
+
+std::string read_text_file(const std::filesystem::path& path) {
+    std::FILE* f = std::fopen(path.string().c_str(), "rb");
+    if (!f) fail(path, "cannot open");
+    std::string out;
+    char buf[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, got);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) fail(path, "read error on");
+    return out;
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content) {
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+    if (!f) fail(tmp, "cannot create");
+    const bool wrote =
+        content.empty() ||
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    bool ok = wrote && std::fflush(f) == 0;
+#ifndef _WIN32
+    ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::filesystem::remove(tmp);
+        fail(tmp, "write error on");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp);
+        fail(path, "rename failed for");
+    }
+}
+
+} // namespace volsched::util

@@ -1,0 +1,25 @@
+#pragma once
+/// \file atomic_io.hpp
+/// Crash-safe small-file IO for the campaign layer: progress manifests are
+/// replaced atomically (write-to-temp, fsync, rename) so an interrupted
+/// writer can never leave a torn manifest behind — a reader sees either the
+/// old file or the new one, nothing in between.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace volsched::util {
+
+/// Reads a whole file into a string; throws std::runtime_error when the
+/// file cannot be opened or read.
+std::string read_text_file(const std::filesystem::path& path);
+
+/// Atomically replaces `path` with `content`: writes `path` + ".tmp" in the
+/// same directory, flushes it to disk, then renames over the target.  On
+/// POSIX the rename is atomic, so concurrent/interrupted writers cannot
+/// produce a partially written file.  Throws std::runtime_error on failure.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content);
+
+} // namespace volsched::util

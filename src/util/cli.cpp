@@ -7,6 +7,24 @@
 
 namespace volsched::util {
 
+std::vector<std::string> split_list(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::string current;
+    int parens = 0;
+    for (char c : text) {
+        if (c == '(') ++parens;
+        else if (c == ')' && parens > 0) --parens;
+        if (c == sep && parens == 0) {
+            if (!current.empty()) out.push_back(current);
+            current.clear();
+        } else if (c != ' ' && c != '\t') {
+            current += c;
+        }
+    }
+    if (!current.empty()) out.push_back(current);
+    return out;
+}
+
 Cli::Cli(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
@@ -86,6 +104,26 @@ bool Cli::parse(int argc, const char* const* argv) {
                 return false;
             }
             value = argv[++i];
+        }
+        // Numeric options must consume the whole token: "5x" or "0xC0FFEE"
+        // silently prefix-parsing to a different experiment is worse than
+        // an error.
+        if (opt.kind != Kind::String) {
+            char* end = nullptr;
+            if (opt.kind == Kind::Int)
+                (void)std::strtoll(value.c_str(), &end, 10);
+            else
+                (void)std::strtod(value.c_str(), &end);
+            if (value.empty() || end != value.c_str() + value.size()) {
+                std::fprintf(stderr,
+                             "%s: option --%s wants %s value, got '%s'\n",
+                             program_.c_str(), name.c_str(),
+                             opt.kind == Kind::Int ? "an integer"
+                                                   : "a numeric",
+                             value.c_str());
+                exit_code_ = 2;
+                return false;
+            }
         }
         opt.value = value;
     }

@@ -8,9 +8,17 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace volsched::util {
+
+/// Splits a separator-joined list, stripping spaces/tabs and dropping blank
+/// items ("a, b,,c" -> {"a","b","c"}).  Separators inside parentheses do
+/// not split, so scheduler specs with option lists stay whole:
+/// "thr(percent=50,fallback=1):emct,mct" -> two specs.  The CLI convention
+/// for --heuristics and the integer grid axes.
+std::vector<std::string> split_list(std::string_view text, char sep = ',');
 
 /// Declarative option set + parsed values.
 ///

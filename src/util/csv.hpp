@@ -24,10 +24,13 @@ public:
     static std::string cell(std::size_t v);
     static std::string cell(long long v);
 
+    /// RFC-4180 quoting for one cell — the single escaping implementation
+    /// every CSV emitter in the project shares.
+    static std::string escape(std::string_view s);
+
     [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
 private:
-    static std::string escape(std::string_view s);
     void write_row(const std::vector<std::string>& cells);
 
     std::ostream& out_;

@@ -5,6 +5,8 @@
 ///  - the scheduler registry + spec grammar  (api/registry.hpp, api/spec.hpp)
 ///  - the fluent Simulation builder          (api/simulation_builder.hpp)
 ///  - the fluent Experiment builder          (api/experiment_builder.hpp)
+///  - sharded, resumable campaigns + sinks   (api/campaign_builder.hpp,
+///                                            exp/campaign.hpp, exp/sink.hpp)
 ///  - the curated paper name lists / shim    (core/factory.hpp)
 ///  - the simulation engine and platform     (sim/engine.hpp)
 ///  - availability: Markov chains, chain generators, trace replay and
@@ -23,6 +25,7 @@
 ///   auto sched = api::SchedulerRegistry::instance().make("thr50:emct");
 ///   auto metrics = simulation.run(*sched);
 
+#include "api/campaign_builder.hpp"
 #include "api/experiment_builder.hpp"
 #include "api/registry.hpp"
 #include "api/simulation_builder.hpp"
@@ -49,10 +52,12 @@
 #include "trace/semi_markov.hpp"
 #include "trace/sojourn.hpp"
 
+#include "exp/campaign.hpp"
 #include "exp/dfb.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/shape.hpp"
+#include "exp/sink.hpp"
 #include "exp/sweep.hpp"
 
 #include "offline/bounds.hpp"

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "core/factory.hpp"
 #include "exp/dfb.hpp"
 #include "exp/runner.hpp"
@@ -170,24 +173,24 @@ TEST(Sweep, RecordSinkReceivesEveryInstance) {
     cfg.p = 4;
     cfg.run.iterations = 1;
     cfg.threads = 3;
-    std::vector<std::pair<int, std::vector<long long>>> rows;
-    cfg.record = [&](const ve::Scenario& sc, int trial,
-                     const std::vector<long long>& makespans) {
-        (void)trial;
-        rows.emplace_back(sc.tasks, makespans);
-    };
+    std::vector<ve::InstanceRecord> rows;
+    cfg.record = [&](const ve::InstanceRecord& rec) { rows.push_back(rec); };
     const auto result = ve::run_sweep(cfg, {"mct", "emct"});
     EXPECT_EQ(static_cast<long long>(rows.size()),
               result.overall.instances());
     int tasks3 = 0, tasks5 = 0;
-    for (const auto& [tasks, makespans] : rows) {
-        EXPECT_EQ(makespans.size(), 2u);
-        for (long long ms : makespans) EXPECT_GT(ms, 0);
-        tasks3 += (tasks == 3);
-        tasks5 += (tasks == 5);
+    std::set<std::pair<std::uint64_t, int>> identities;
+    for (const auto& rec : rows) {
+        EXPECT_EQ(rec.makespans.size(), 2u);
+        for (long long ms : rec.makespans) EXPECT_GT(ms, 0);
+        tasks3 += (rec.scenario.tasks == 3);
+        tasks5 += (rec.scenario.tasks == 5);
+        identities.emplace(rec.scenario_ordinal, rec.trial);
     }
     EXPECT_EQ(tasks3, 4);
     EXPECT_EQ(tasks5, 4);
+    // Every (scenario, trial) instance is reported exactly once.
+    EXPECT_EQ(identities.size(), rows.size());
 }
 
 TEST(Sweep, ProgressCallbackCoversAllInstances) {

@@ -1,0 +1,324 @@
+/// \file volsched_campaign.cpp
+/// Campaign driver for paper-scale (and beyond) sweeps: shard the Table-1
+/// grid across machines, stream per-instance records to durable JSONL/CSV
+/// sinks, checkpoint progress, resume after interruption, and merge shard
+/// outputs into the paper's dfb tables — bit-identically to an unsharded
+/// in-memory sweep.
+///
+///   volsched_campaign run    --out camp --shard 1/4 --scenarios 247 --trials 10
+///   volsched_campaign run    --out camp --shard 1/4        # again: resumes
+///   volsched_campaign status --out camp
+///   volsched_campaign merge  --out camp --breakdown
+///   volsched_campaign run    --out smoke --smoke            # tiny CI grid
+///
+/// Every shard directory (<out>/shard-k-of-N/) is self-describing: the
+/// first JSONL line carries the full grid configuration and a fingerprint,
+/// so merge and status need no flags beyond --out.  See API.md
+/// ("Campaigns") for the sharding and resume contracts.
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report.hpp" // bench/: shared dfb-table rendering
+#include "volsched/volsched.hpp"
+
+namespace {
+
+using namespace volsched;
+
+/// Strict integer parse: the whole token must be digits ("5.10" or "1x"
+/// must error out, not silently truncate to a different campaign).
+bool parse_int_strict(std::string_view text, int& out) {
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && end == text.data() + text.size();
+}
+
+bool parse_int_list(const std::string& text, std::vector<int>& out) {
+    out.clear();
+    for (const auto& item : util::split_list(text)) {
+        int value = 0;
+        if (!parse_int_strict(item, value)) return false;
+        out.push_back(value);
+    }
+    return !out.empty();
+}
+
+bool parse_shard(const std::string& text, int& index, int& count) {
+    const auto slash = text.find('/');
+    if (slash == std::string::npos) return false;
+    return parse_int_strict(std::string_view(text).substr(0, slash), index) &&
+           parse_int_strict(std::string_view(text).substr(slash + 1), count);
+}
+
+void print_tables(const exp::SweepResult& result, bool breakdown) {
+    benchtool::print_dfb_table("overall — all problem instances",
+                               result.heuristics, result.overall,
+                               /*show_wins=*/true);
+    if (!breakdown) return;
+    for (const auto& [wmin, table] : result.by_wmin)
+        benchtool::print_dfb_table("by wmin = " + std::to_string(wmin),
+                                   result.heuristics, table,
+                                   /*show_wins=*/false);
+    for (const auto& [n, table] : result.by_tasks)
+        benchtool::print_dfb_table("by n = " + std::to_string(n),
+                                   result.heuristics, table,
+                                   /*show_wins=*/false);
+    for (const auto& [ncom, table] : result.by_ncom)
+        benchtool::print_dfb_table("by ncom = " + std::to_string(ncom),
+                                   result.heuristics, table,
+                                   /*show_wins=*/false);
+}
+
+int cmd_run(int argc, char** argv) {
+    util::Cli cli("volsched_campaign run",
+                  "run (or resume) one shard of a sweep campaign");
+    cli.add_string("out", "", "campaign root directory (required)");
+    cli.add_string("shard", "1/1", "this machine's shard, as k/N");
+    cli.add_string("heuristics", "all",
+                   "comma-separated specs, or 'all' / 'greedy'");
+    cli.add_string("tasks", "5,10,20,40", "tasks-per-iteration axis (n)");
+    cli.add_string("ncom", "5,10,20", "master concurrency axis");
+    cli.add_string("wmin", "1,2,3,4,5,6,7,8,9,10", "wmin axis");
+    cli.add_int("scenarios", 3, "scenario draws per grid cell");
+    cli.add_int("trials", 3, "trials per scenario");
+    cli.add_int("procs", 20, "processors per platform");
+    cli.add_int("iterations", 10, "iterations per run");
+    cli.add_int("replicas", 2, "extra replica cap per task");
+    cli.add_double("tdata", 1.0, "Tdata = tdata * wmin");
+    cli.add_double("tprog", 5.0, "Tprog = tprog * wmin");
+    cli.add_int("seed", 0xC0FFEE, "master seed");
+    cli.add_int("threads", 0, "worker threads (0: hardware)");
+    cli.add_int("checkpoint", 8, "jobs per durable checkpoint");
+    cli.add_int("batches", 0, "stop after this many checkpoints (0: all)");
+    cli.add_flag("csv", "also stream records.csv");
+    cli.add_flag("fresh", "discard previous output instead of resuming");
+    cli.add_flag("quiet", "no progress output");
+    cli.add_flag("smoke", "tiny fixed CI grid; overrides the axes, "
+                          "heuristics, counts, and checkpoint cadence");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    if (cli.get_string("out").empty()) {
+        std::fprintf(stderr, "run: --out is required\n");
+        return 2;
+    }
+
+    api::ExperimentBuilder experiment;
+    try {
+        experiment.heuristic_set(cli.get_string("heuristics"));
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    std::vector<int> tasks, ncom, wmin;
+    if (!parse_int_list(cli.get_string("tasks"), tasks) ||
+        !parse_int_list(cli.get_string("ncom"), ncom) ||
+        !parse_int_list(cli.get_string("wmin"), wmin)) {
+        std::fprintf(stderr, "run: --tasks/--ncom/--wmin want comma-separated "
+                             "integers\n");
+        return 2;
+    }
+
+    experiment.tasks(tasks)
+        .ncom(ncom)
+        .wmin(wmin)
+        .processors(static_cast<int>(cli.get_int("procs")))
+        .scenarios_per_cell(static_cast<int>(cli.get_int("scenarios")))
+        .trials(static_cast<int>(cli.get_int("trials")))
+        .iterations(static_cast<int>(cli.get_int("iterations")))
+        .replica_cap(static_cast<int>(cli.get_int("replicas")))
+        .tdata_factor(cli.get_double("tdata"))
+        .tprog_factor(cli.get_double("tprog"))
+        .seed(static_cast<std::uint64_t>(cli.get_int("seed")))
+        .threads(static_cast<std::size_t>(cli.get_int("threads")));
+
+    if (cli.get_flag("smoke")) {
+        experiment.heuristics({"mct", "emct"})
+            .tasks({3})
+            .ncom({2})
+            .wmin({1, 2})
+            .processors(4)
+            .scenarios_per_cell(2)
+            .trials(2)
+            .iterations(2);
+    }
+
+    int shard_index = 1, shard_count = 1;
+    if (!parse_shard(cli.get_string("shard"), shard_index, shard_count)) {
+        std::fprintf(stderr, "run: --shard wants k/N, e.g. --shard 2/4\n");
+        return 2;
+    }
+
+    try {
+        auto campaign = experiment.campaign()
+                            .directory(cli.get_string("out"))
+                            .shard(shard_index, shard_count)
+                            .checkpoint_every(cli.get_flag("smoke")
+                                                  ? 2
+                                                  : static_cast<int>(
+                                                        cli.get_int(
+                                                            "checkpoint")))
+                            .csv(cli.get_flag("csv"))
+                            .stop_after_batches(
+                                static_cast<int>(cli.get_int("batches")));
+        if (cli.get_flag("fresh")) campaign.fresh();
+        if (!cli.get_flag("quiet"))
+            campaign.progress([](long long done, long long total) {
+                if (done == total || done % 50 == 0)
+                    std::fprintf(stderr, "\r%lld/%lld instances", done,
+                                 total);
+                if (done == total) std::fputc('\n', stderr);
+            });
+
+        const auto outcome = campaign.run();
+        std::printf("shard %d/%d: %lld/%lld jobs (%lld instances) -> %s\n",
+                    shard_index, shard_count, outcome.jobs_done,
+                    outcome.jobs_total, outcome.instances_done,
+                    outcome.jsonl_path.string().c_str());
+        if (!outcome.complete) {
+            std::printf("stopped at a checkpoint; re-run the same command "
+                        "to continue\n");
+            return 3;
+        }
+        std::printf("shard complete\n");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+int cmd_merge(int argc, char** argv) {
+    util::Cli cli("volsched_campaign merge",
+                  "combine shard outputs into the paper's dfb tables");
+    cli.add_string("out", "", "campaign root directory (required)");
+    cli.add_flag("breakdown", "also print by-wmin/by-n/by-ncom tables");
+    cli.add_string("csv", "", "write the overall table to this CSV path");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    if (cli.get_string("out").empty()) {
+        std::fprintf(stderr, "merge: --out is required\n");
+        return 2;
+    }
+
+    try {
+        const auto dirs =
+            exp::find_shard_directories(cli.get_string("out"));
+        if (dirs.empty()) {
+            std::fprintf(stderr,
+                         "merge: no shard directories under '%s'\n",
+                         cli.get_string("out").c_str());
+            return 1;
+        }
+        std::vector<std::filesystem::path> files;
+        files.reserve(dirs.size());
+        for (const auto& dir : dirs) files.push_back(dir / "records.jsonl");
+        const auto result = exp::merge_shards(files);
+        std::printf("merged %zu shard(s), %lld instances\n\n", files.size(),
+                    result.overall.instances());
+        print_tables(result, cli.get_flag("breakdown"));
+        if (const auto& path = cli.get_string("csv"); !path.empty())
+            benchtool::write_dfb_csv(path, result.heuristics,
+                                     result.overall);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+int cmd_status(int argc, char** argv) {
+    util::Cli cli("volsched_campaign status",
+                  "show per-shard progress from the checkpoint manifests");
+    cli.add_string("out", "", "campaign root directory (required)");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    if (cli.get_string("out").empty()) {
+        std::fprintf(stderr, "status: --out is required\n");
+        return 2;
+    }
+
+    const auto dirs = exp::find_shard_directories(cli.get_string("out"));
+    if (dirs.empty()) {
+        std::fprintf(stderr, "status: no shard directories under '%s'\n",
+                     cli.get_string("out").c_str());
+        return 1;
+    }
+
+    util::TextTable table(
+        {"shard", "jobs", "instances", "jsonl bytes", "state"});
+    for (std::size_t c = 1; c < 4; ++c) table.align_right(c);
+    long long done_total = 0, jobs_total = 0;
+    bool all_complete = true;
+    int shard_count = 0;
+    for (const auto& dir : dirs) {
+        const auto manifest = exp::read_manifest(dir);
+        if (!manifest) {
+            table.add_row({dir.filename().string(), "-", "-", "-",
+                           "no manifest"});
+            all_complete = false;
+            continue;
+        }
+        shard_count = manifest->shard_count;
+        done_total += manifest->jobs_done;
+        jobs_total += manifest->jobs_total;
+        all_complete = all_complete && manifest->complete;
+        table.add_row({dir.filename().string(),
+                       std::to_string(manifest->jobs_done) + "/" +
+                           std::to_string(manifest->jobs_total),
+                       std::to_string(manifest->instances_done),
+                       std::to_string(manifest->jsonl_bytes),
+                       manifest->complete ? "complete" : "running"});
+    }
+    if (static_cast<int>(dirs.size()) < shard_count) {
+        table.add_row({std::to_string(shard_count -
+                                      static_cast<int>(dirs.size())) +
+                           " shard(s)",
+                       "-", "-", "-", "not started"});
+        all_complete = false;
+    }
+    std::printf("%s", table.render("campaign " + cli.get_string("out"))
+                          .c_str());
+    if (jobs_total > 0)
+        std::printf("%.1f%% of the started shards' jobs done\n",
+                    100.0 * static_cast<double>(done_total) /
+                        static_cast<double>(jobs_total));
+    std::printf(all_complete ? "all shards complete — ready to merge\n"
+                             : "campaign incomplete\n");
+    return 0;
+}
+
+void usage() {
+    std::puts("volsched_campaign — sharded, resumable sweep campaigns\n"
+              "\n"
+              "subcommands:\n"
+              "  run     run (or resume) one shard; writes\n"
+              "          <out>/shard-k-of-N/{records.jsonl,MANIFEST}\n"
+              "  merge   combine all shard outputs into the dfb tables\n"
+              "  status  per-shard progress from the checkpoint manifests\n"
+              "\n"
+              "volsched_campaign <subcommand> --help lists its options.\n"
+              "The sharding and resume contracts are documented in API.md\n"
+              "(\"Campaigns\").");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+        usage();
+        return argc < 2 ? 2 : 0;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "run") return cmd_run(argc - 1, argv + 1);
+    if (cmd == "merge") return cmd_merge(argc - 1, argv + 1);
+    if (cmd == "status") return cmd_status(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown subcommand '%s'\n\n", argv[1]);
+    usage();
+    return 2;
+}

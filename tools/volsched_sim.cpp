@@ -24,22 +24,6 @@ namespace {
 
 using namespace volsched;
 
-/// Splits a comma-separated heuristic list, trimming blanks.
-std::vector<std::string> split_specs(const std::string& text) {
-    std::vector<std::string> specs;
-    std::string current;
-    for (char c : text) {
-        if (c == ',') {
-            if (!current.empty()) specs.push_back(current);
-            current.clear();
-        } else if (c != ' ' && c != '\t') {
-            current += c;
-        }
-    }
-    if (!current.empty()) specs.push_back(current);
-    return specs;
-}
-
 int list_heuristics() {
     const auto entries = api::SchedulerRegistry::instance().entries();
     util::TextTable table({"name", "description"});
@@ -50,7 +34,8 @@ int list_heuristics() {
     }
     std::printf("%s", table.render("registered heuristics").c_str());
     std::puts("\nspec grammar: name[(key=value,...)][:inner], e.g. "
-              "thr50:emct or thr(percent=50):emct");
+              "thr50:emct or thr(percent=50):emct\n"
+              "paper sections and intuitions: HEURISTICS.md");
     return 0;
 }
 
@@ -96,7 +81,7 @@ int main(int argc, char** argv) {
     if (cli.get_flag("list-heuristics")) return list_heuristics();
 
     const std::string& spec_list = cli.get_string("heuristics");
-    std::vector<std::string> specs = split_specs(spec_list);
+    std::vector<std::string> specs = util::split_list(spec_list);
     if (!spec_list.empty() && specs.empty()) {
         std::fprintf(stderr, "--heuristics '%s' contains no specs\n",
                      spec_list.c_str());
