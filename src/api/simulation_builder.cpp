@@ -184,6 +184,23 @@ SimulationBuilder& SimulationBuilder::seed(std::uint64_t s) {
     return *this;
 }
 
+SimulationBuilder&
+SimulationBuilder::realized(std::shared_ptr<markov::RealizedTraces> traces) {
+    if (!traces) fail(".realized(...) got a null realization");
+    realized_ = std::move(traces);
+    return *this;
+}
+
+SimulationBuilder& SimulationBuilder::trace_cache(bool on) {
+    cache_traces_ = on;
+    return *this;
+}
+
+SimulationBuilder& SimulationBuilder::skip_dead_slots(bool on) {
+    config_.skip_dead_slots = on;
+    return *this;
+}
+
 sim::Simulation SimulationBuilder::build() {
     if (built_)
         fail("build() called twice; a builder is single-use (the first "
@@ -216,9 +233,29 @@ sim::Simulation SimulationBuilder::build() {
         beliefs = std::move(source_->default_beliefs);
     }
 
+    if (realized_) {
+        if (!cache_traces_)
+            fail(".trace_cache(false) conflicts with .realized(...): an "
+                 "attached realization is always retained and shared");
+        if (realized_->size() != p)
+            fail(".realized(...) holds " + std::to_string(realized_->size()) +
+                 " traces but the platform has " + std::to_string(p) +
+                 " processors");
+        if (realized_->seed() != seed_)
+            fail(".realized(...) was sampled from seed " +
+                 std::to_string(realized_->seed()) +
+                 " but the simulation seed is " + std::to_string(seed_) +
+                 "; sharing it would break the determinism contract "
+                 "(realization must be a function of the seed only)");
+    }
+
     built_ = true;
-    return sim::Simulation(std::move(*platform_), std::move(source_->models),
-                           std::move(beliefs), config_, seed_);
+    sim::Simulation simulation(std::move(*platform_),
+                               std::move(source_->models), std::move(beliefs),
+                               config_, seed_);
+    simulation.cache_traces_ = cache_traces_;
+    if (realized_) simulation.traces_ = std::move(realized_);
+    return simulation;
 }
 
 } // namespace volsched::api

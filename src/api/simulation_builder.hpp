@@ -23,6 +23,13 @@
 ///   .models(models)      — any AvailabilityModel set; uninformed default
 /// followed optionally by .beliefs(chains) to override the default belief
 /// set or .uninformed() to drop it.
+///
+/// Realization control: .realized(traces) attaches a pre-sampled
+/// markov::RealizedTraces snapshot (shared availability sampling across
+/// builds), .trace_cache(false) re-samples the realization on every run
+/// instead of caching it, and .skip_dead_slots(false) disables the engine's
+/// dead-stretch fast-forward.  None of these change results: the
+/// realization is a function of the seed only.
 
 #include <cstdint>
 #include <memory>
@@ -115,6 +122,26 @@ public:
 
     SimulationBuilder& seed(std::uint64_t s);
 
+    /// Attaches a pre-sampled realization snapshot, sharing availability
+    /// sampling across several Simulations (e.g. objective variants over
+    /// one instance).  The snapshot must have one trace per processor and
+    /// must have been realized from the same seed as the built simulation —
+    /// both are validated at build() time, because a realization that does
+    /// not match the seed would silently break the determinism contract.
+    SimulationBuilder& realized(std::shared_ptr<markov::RealizedTraces> traces);
+
+    /// Controls the realization cache (default on): with `on`, the first
+    /// run() samples the availability realization once and later runs
+    /// replay it; with `off`, every run re-samples from the seed (the
+    /// pre-trace-layer cost model — useful for memory-lean huge-horizon
+    /// runs and as the benchmark baseline).  Either way results are
+    /// bit-identical: the realization is a function of the seed only.
+    SimulationBuilder& trace_cache(bool on = true);
+
+    /// Disables the dead-stretch fast-forward (EngineConfig::
+    /// skip_dead_slots); sugar over config() for A/B comparisons.
+    SimulationBuilder& skip_dead_slots(bool on = true);
+
     /// Validates and builds.  The result bit-matches the raw
     /// sim::Simulation constructor fed the same platform, models, beliefs,
     /// config and seed.
@@ -124,7 +151,9 @@ private:
     std::optional<sim::Platform> platform_;
     std::optional<AvailabilitySource> source_;
     std::optional<std::vector<markov::MarkovChain>> belief_override_;
+    std::shared_ptr<markov::RealizedTraces> realized_;
     bool uninformed_ = false;
+    bool cache_traces_ = true;
     sim::EngineConfig config_{};
     std::uint64_t seed_ = 0;
     bool built_ = false;

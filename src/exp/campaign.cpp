@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -532,43 +534,146 @@ SweepResult aggregate_records(const SweepConfig& cfg,
     return result;
 }
 
+namespace {
+
+/// Streams one shard's records straight off its JSONL file, one line at a
+/// time — the k-way-merge leg that replaces loading whole shards into
+/// memory.  The header is parsed (and fingerprint-verified) on open.
+class ShardStream {
+public:
+    explicit ShardStream(const std::filesystem::path& file)
+        : path_(file), in_(file) {
+        if (!in_)
+            fail("merge: cannot open '" + file.string() + "'");
+        std::string line;
+        if (!std::getline(in_, line))
+            fail("'" + path_.string() + "' is empty");
+        header_ = parse_campaign_header(line);
+    }
+
+    [[nodiscard]] const CampaignHeader& header() const noexcept {
+        return header_;
+    }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept {
+        return path_;
+    }
+
+    /// Next record, or std::nullopt at end of stream.
+    std::optional<InstanceRecord> next() {
+        std::string line;
+        while (std::getline(in_, line)) {
+            if (line.empty()) continue;
+            try {
+                return JsonlSink::parse_record(line);
+            } catch (const std::invalid_argument& e) {
+                fail("'" + path_.string() + "' holds a malformed record (" +
+                     e.what() +
+                     "); was the shard killed without a checkpoint? resume "
+                     "it to self-heal, or delete the torn tail");
+            }
+        }
+        return std::nullopt;
+    }
+
+private:
+    std::filesystem::path path_;
+    std::ifstream in_;
+    CampaignHeader header_;
+};
+
+} // namespace
+
 SweepResult
 merge_shards(const std::vector<std::filesystem::path>& jsonl_files) {
     if (jsonl_files.empty()) fail("merge: no shard files");
-    std::optional<CampaignHeader> reference;
-    std::vector<InstanceRecord> records;
-    std::vector<bool> seen_shard;
+
+    // Open every shard and cross-validate the headers up front.
+    std::vector<std::unique_ptr<ShardStream>> streams;
+    streams.reserve(jsonl_files.size());
     for (const auto& file : jsonl_files) {
-        auto [header, shard_records] = read_shard_records(file);
-        if (!reference) {
-            reference = header;
-            seen_shard.assign(
-                static_cast<std::size_t>(header.shard_count), false);
-        } else {
-            if (header.fingerprint != reference->fingerprint)
+        auto stream = std::make_unique<ShardStream>(file);
+        if (!streams.empty()) {
+            const CampaignHeader& ref = streams.front()->header();
+            if (stream->header().fingerprint != ref.fingerprint)
                 fail("merge: '" + file.string() +
                      "' belongs to a different campaign (fingerprint "
                      "mismatch)");
-            if (header.shard_count != reference->shard_count)
+            if (stream->header().shard_count != ref.shard_count)
                 fail("merge: '" + file.string() +
                      "' disagrees on the shard count");
         }
-        const auto slot = static_cast<std::size_t>(header.shard_index - 1);
-        if (header.shard_index < 1 ||
-            header.shard_index > header.shard_count || seen_shard[slot])
-            fail("merge: shard " + std::to_string(header.shard_index) +
-                 " appears twice or is out of range");
-        seen_shard[slot] = true;
-        records.insert(records.end(),
-                       std::make_move_iterator(shard_records.begin()),
-                       std::make_move_iterator(shard_records.end()));
+        streams.push_back(std::move(stream));
     }
-    for (std::size_t k = 0; k < seen_shard.size(); ++k)
-        if (!seen_shard[k])
+    const CampaignHeader& ref = streams.front()->header();
+    std::vector<ShardStream*> by_shard(
+        static_cast<std::size_t>(ref.shard_count), nullptr);
+    for (const auto& stream : streams) {
+        const int k = stream->header().shard_index;
+        const auto slot = static_cast<std::size_t>(k - 1);
+        if (k < 1 || k > ref.shard_count || by_shard[slot])
+            fail("merge: shard " + std::to_string(k) +
+                 " appears twice or is out of range");
+        by_shard[slot] = stream.get();
+    }
+    for (std::size_t k = 0; k < by_shard.size(); ++k)
+        if (!by_shard[k])
             fail("merge: shard " + std::to_string(k + 1) + " of " +
-                 std::to_string(seen_shard.size()) + " is missing");
-    return aggregate_records(reference->sweep, reference->heuristics,
-                             records);
+                 std::to_string(by_shard.size()) + " is missing");
+
+    // Streaming k-way merge.  The grid enumeration *is* the merged order:
+    // shard k-of-N holds exactly the ordinals congruent to k-1 mod N, each
+    // emitted in (ordinal, trial) order, so walking the grid and pulling
+    // `trials` records from the owning shard visits every record exactly
+    // once, in the order run_sweep reduces them — per-job tables built in
+    // trial order, merged in ordinal order — keeping the floating-point
+    // operation sequence, and therefore every digit, bit-identical to the
+    // unsharded sweep.  Peak memory is O(shards + grid jobs), never
+    // O(records).
+    const std::vector<GridJob> grid = grid_jobs(ref.sweep);
+    const int trials = ref.sweep.trials_per_scenario;
+    const std::size_t num_heuristics = ref.heuristics.size();
+    SweepResult result(ref.heuristics);
+    for (const GridJob& job : grid) {
+        ShardStream& shard = *by_shard[static_cast<std::size_t>(
+            job.ordinal % static_cast<std::uint64_t>(ref.shard_count))];
+        DfbTable local(num_heuristics);
+        for (int t = 0; t < trials; ++t) {
+            auto rec = shard.next();
+            if (!rec)
+                fail("merge: '" + shard.path().string() +
+                     "' ran out of records at scenario ordinal " +
+                     std::to_string(job.ordinal) + " trial " +
+                     std::to_string(t) + " (incomplete shard?)");
+            if (rec->scenario_ordinal != job.ordinal || rec->trial != t)
+                fail("merge: '" + shard.path().string() +
+                     "' yields (ordinal " +
+                     std::to_string(rec->scenario_ordinal) + ", trial " +
+                     std::to_string(rec->trial) + ") where (ordinal " +
+                     std::to_string(job.ordinal) + ", trial " +
+                     std::to_string(t) +
+                     ") was expected (duplicate, missing, or out-of-order "
+                     "record?)");
+            if (rec->scenario.seed != job.scenario.seed)
+                fail("merge: ordinal " + std::to_string(job.ordinal) +
+                     " carries seed " + std::to_string(rec->scenario.seed) +
+                     " but the grid expects " +
+                     std::to_string(job.scenario.seed) +
+                     " (records from a different campaign?)");
+            if (rec->makespans.size() != num_heuristics)
+                fail("merge: ordinal " + std::to_string(job.ordinal) +
+                     " has " + std::to_string(rec->makespans.size()) +
+                     " makespans, expected " +
+                     std::to_string(num_heuristics));
+            local.add_instance(rec->makespans);
+        }
+        merge_job_tables(result, job.scenario, local);
+    }
+    for (const auto& stream : streams)
+        if (stream->next())
+            fail("merge: '" + stream->path().string() +
+                 "' holds records past the end of its shard of the grid "
+                 "(duplicate shard or foreign file?)");
+    return result;
 }
 
 // ---------------------------------------------------------------------------

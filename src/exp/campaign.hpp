@@ -144,14 +144,14 @@ SweepResult aggregate_records(const SweepConfig& cfg,
                               const std::vector<std::string>& heuristics,
                               const std::vector<InstanceRecord>& records);
 
-/// Reads shard JSONL files (headers must agree on the fingerprint), pools
-/// their records, and aggregates them canonically.  Throws when shards are
-/// missing, duplicated, or inconsistent.
-///
-/// Memory: the merge currently holds every record of every shard at once —
-/// fine through paper scale (~300k instances), but 10^6-scenario campaigns
-/// will want the streaming k-way merge the per-shard (ordinal, trial)
-/// emission order already permits (see ROADMAP open items).
+/// Reads shard JSONL files (headers must agree on the fingerprint) and
+/// aggregates them canonically via a streaming k-way merge: shard files are
+/// already emitted in (ordinal, trial) order and the round-robin planner
+/// assigns each ordinal to exactly one shard, so the merge walks the grid,
+/// pulls each job's trials from the owning shard's stream, and reduces
+/// online through merge_job_tables.  Bit-identical to the unsharded
+/// run_sweep; peak memory is O(shards + grid jobs), never O(records).
+/// Throws when shards are missing, duplicated, or inconsistent.
 SweepResult merge_shards(const std::vector<std::filesystem::path>& jsonl_files);
 
 /// Reads one shard JSONL file: header + records.

@@ -16,7 +16,11 @@ InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
 
     const auto simulation =
         sim::Simulation::from_chains(rs.platform, rs.chains, ec, trial_seed);
-
+    // Every heuristic below replays one shared availability realization,
+    // sampled lazily on the first run() and cached by the Simulation: the
+    // per-slot sampling cost is paid once per (scenario, trial) — not once
+    // per heuristic — and the paper's identical-realization property holds
+    // by construction instead of by repeated re-sampling.
     const auto& registry = api::SchedulerRegistry::instance();
     InstanceOutcome out;
     out.makespans.reserve(heuristics.size());

@@ -2,7 +2,9 @@
 /// \file runner.hpp
 /// Runs a set of heuristics against one problem instance (scenario x trial
 /// seed): every heuristic faces the identical availability realization, so
-/// per-instance degradation-from-best is well defined.
+/// per-instance degradation-from-best is well defined.  The realization is
+/// sampled once per instance into a markov::RealizedTraces snapshot and
+/// replayed by every heuristic (sampling cost amortized across the set).
 
 #include <string>
 #include <vector>

@@ -52,19 +52,15 @@ struct ActiveTransfer {
 
 class Runner {
 public:
-    Runner(const Platform& platform,
-           const std::vector<std::unique_ptr<markov::AvailabilityModel>>& models,
+    Runner(const Platform& platform, markov::RealizedTraces& traces,
            const std::vector<markov::MarkovChain>& beliefs,
            const EngineConfig& config, std::uint64_t seed)
         : pf_(platform), config_(config) {
         const int p = pf_.size();
         workers_.resize(p);
-        models_.reserve(p);
-        proc_rng_.reserve(p);
-        for (int q = 0; q < p; ++q) {
-            models_.push_back(models[q]->clone());
-            proc_rng_.emplace_back(util::mix_seed(seed, 0x41564149ULL, q));
-        }
+        cursors_.reserve(p);
+        for (int q = 0; q < p; ++q)
+            cursors_.emplace_back(traces.trace(q));
         sched_rng_ = util::Rng(util::mix_seed(seed, 0x53434845ULL));
         beliefs_ = beliefs.empty() ? nullptr : &beliefs;
     }
@@ -75,7 +71,23 @@ public:
         if (config_.timeline) config_.timeline->begin(pf_.size());
         if (config_.actions) config_.actions->begin(pf_.size());
         slot_flags_.assign(static_cast<std::size_t>(pf_.size()), 0);
-        for (long long t = 0; t < config_.max_slots; ++t) {
+        long long t = 0;
+        while (t < config_.max_slots) {
+            // Dead-stretch fast-forward: with every worker DOWN or
+            // RECLAIMED nothing can transfer, compute, or complete, so the
+            // slot loop is a no-op until some processor changes state.
+            if (config_.skip_dead_slots && t > 0 && up_count_ == 0) {
+                long long change = config_.max_slots;
+                for (int q = 0; q < pf_.size(); ++q)
+                    change =
+                        std::min(change, cursors_[q].next_change_at(t - 1,
+                                                                    change));
+                if (change > t) {
+                    skip_dead_range(t, change);
+                    t = change;
+                    continue;
+                }
+            }
             slot_ = t;
             if (config_.actions) config_.actions->next_slot();
             std::fill(slot_flags_.begin(), slot_flags_.end(),
@@ -97,6 +109,7 @@ public:
                 metrics_.iterations_completed = config_.iterations;
                 return metrics_;
             }
+            ++t;
         }
         metrics_.completed = false;
         metrics_.makespan = config_.max_slots;
@@ -127,13 +140,15 @@ private:
     // ---- slot phases --------------------------------------------------
 
     void advance_states(long long t) {
+        up_count_ = 0;
         for (int q = 0; q < pf_.size(); ++q) {
             const ProcState prev = workers_[q].state;
-            const ProcState next =
-                (t == 0) ? models_[q]->initial_state(proc_rng_[q])
-                         : models_[q]->next_state(prev, proc_rng_[q]);
+            const ProcState next = cursors_[q].state_at(t);
             workers_[q].state = next;
-            if (next == ProcState::Up) ++metrics_.per_proc[q].up_slots;
+            if (next == ProcState::Up) {
+                ++metrics_.per_proc[q].up_slots;
+                ++up_count_;
+            }
             if (t == 0 || next != prev)
                 emit(EventKind::StateChange, q, -1, false, next);
             if (next == ProcState::Down &&
@@ -143,6 +158,44 @@ private:
                 handle_down(q);
             }
         }
+    }
+
+    /// Fast-forwards the dead stretch [from, to): every worker is DOWN or
+    /// RECLAIMED for the whole range, so the only per-slot obligations are
+    /// the recorders (timelines and action traces must stay bit-identical
+    /// to an unskipped run).  Audit mode re-verifies the premise slot by
+    /// slot before trusting the jump.
+    void skip_dead_range(long long from, long long to) {
+        if (config_.audit) {
+            for (int q = 0; q < pf_.size(); ++q) {
+                const Worker& w = workers_[q];
+                if (w.state == ProcState::Up)
+                    throw std::logic_error(
+                        "audit: dead-slot skip with an UP worker");
+                if (w.computing != -1 && w.compute_remaining == 0)
+                    throw std::logic_error(
+                        "audit: dead-slot skip with a pending completion");
+                if (w.computing == -1 && w.staged != -1 &&
+                    instances_[w.staged].data_done)
+                    throw std::logic_error(
+                        "audit: dead-slot skip with a pending promotion");
+                for (long long s = from; s < to; ++s)
+                    if (cursors_[q].state_at(s) != w.state)
+                        throw std::logic_error(
+                            "audit: dead-slot skip crossed a state change");
+            }
+        }
+        if (config_.timeline) {
+            for (int q = 0; q < pf_.size(); ++q) {
+                const char code =
+                    workers_[q].state == ProcState::Down ? 'd' : 'r';
+                for (long long s = from; s < to; ++s)
+                    config_.timeline->record(q, code);
+            }
+        }
+        if (config_.actions)
+            for (long long s = from; s < to; ++s) config_.actions->next_slot();
+        metrics_.dead_slots_skipped += to - from;
     }
 
     /// DOWN semantics (Section 3.2): lose the program, staged data, and
@@ -791,12 +844,12 @@ private:
 
     const Platform& pf_;
     EngineConfig config_;
-    std::vector<std::unique_ptr<markov::AvailabilityModel>> models_;
-    std::vector<util::Rng> proc_rng_;
+    std::vector<markov::TraceCursor> cursors_;
     util::Rng sched_rng_{0};
     const std::vector<markov::MarkovChain>* beliefs_ = nullptr;
 
     std::vector<Worker> workers_;
+    int up_count_ = 0;
     std::vector<Instance> instances_;
     std::vector<bool> logical_done_;
     std::vector<int> logical_live_; ///< live (pool+committed) copies per task
@@ -862,8 +915,21 @@ Simulation Simulation::from_chains(Platform platform,
                       seed);
 }
 
+std::shared_ptr<markov::RealizedTraces> Simulation::realization() const {
+    return acquire_traces();
+}
+
+std::shared_ptr<markov::RealizedTraces> Simulation::acquire_traces() const {
+    if (!cache_traces_)
+        return std::make_shared<markov::RealizedTraces>(models_, seed_);
+    if (!traces_)
+        traces_ = std::make_shared<markov::RealizedTraces>(models_, seed_);
+    return traces_;
+}
+
 RunMetrics Simulation::run(Scheduler& sched) const {
-    Runner runner(platform_, models_, beliefs_, config_, seed_);
+    const auto traces = acquire_traces();
+    Runner runner(platform_, *traces, beliefs_, config_, seed_);
     return runner.run(sched);
 }
 
@@ -874,7 +940,8 @@ RunMetrics Simulation::run_for_deadline(Scheduler& sched,
     // An unreachable iteration budget: the run always ends at the deadline
     // and iterations_completed is the Section 3.4 objective value.
     cfg.iterations = std::numeric_limits<int>::max();
-    Runner runner(platform_, models_, beliefs_, cfg, seed_);
+    const auto traces = acquire_traces();
+    Runner runner(platform_, *traces, beliefs_, cfg, seed_);
     return runner.run(sched);
 }
 
@@ -882,7 +949,8 @@ long long Simulation::min_slots_for_iterations(Scheduler& sched,
                                                int iterations) const {
     EngineConfig cfg = config_;
     cfg.iterations = iterations;
-    Runner runner(platform_, models_, beliefs_, cfg, seed_);
+    const auto traces = acquire_traces();
+    Runner runner(platform_, *traces, beliefs_, cfg, seed_);
     const auto metrics = runner.run(sched);
     return metrics.completed ? metrics.makespan : -1;
 }

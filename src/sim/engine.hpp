@@ -19,16 +19,21 @@
 ///     tasks are promoted to computing, replicas of completed tasks are
 ///     cancelled, and iteration boundaries are crossed.
 ///
-/// Availability sampling uses RNG streams that are independent of the
+/// Availability is drawn from RNG streams that are independent of the
 /// heuristic's stream, so for a fixed seed every heuristic faces the exact
 /// same availability realization — the property the paper's per-instance
-/// "degradation from best" metric relies on.
+/// "degradation from best" metric relies on.  The realization is sampled
+/// once into a run-length-encoded markov::RealizedTraces snapshot (a pure
+/// function of the seed) that every run() replays; the RLE structure also
+/// lets the engine fast-forward dead stretches where no worker is UP and
+/// no state change occurs (EngineConfig::skip_dead_slots).
 
 #include <memory>
 #include <vector>
 
 #include "markov/availability.hpp"
 #include "markov/chain.hpp"
+#include "markov/realized_trace.hpp"
 #include "sim/action_trace.hpp"
 #include "sim/events.hpp"
 #include "sim/metrics.hpp"
@@ -71,8 +76,18 @@ struct EngineConfig {
     long long max_slots = 10'000'000;
     /// Scheduler class (Section 6.1); Dynamic is the paper's setting.
     SchedulerClass plan_class = SchedulerClass::Dynamic;
+    /// When true (default), the engine fast-forwards stretches of slots in
+    /// which no worker is UP and no availability state change occurs:
+    /// nothing can transfer, compute, or complete in such a slot, so the
+    /// engine jumps straight to the next state change (RunMetrics::
+    /// dead_slots_skipped counts the slots elided).  Timelines and action
+    /// traces are back-filled so recorded output is bit-identical with the
+    /// flag on or off.
+    bool skip_dead_slots = true;
     /// When true, the engine cross-checks model invariants every slot and
-    /// throws std::logic_error on violation.  Used by the test suite.
+    /// throws std::logic_error on violation (skipped dead ranges are
+    /// cross-checked slot by slot against the realized trace).  Used by the
+    /// test suite.
     bool audit = false;
     /// Optional structured event log (not owned; may be null).
     EventLog* events = nullptr;
@@ -87,7 +102,15 @@ struct EngineConfig {
 /// processor, optional per-processor belief chains for informed heuristics,
 /// and a seed.  `run()` may be called several times (optionally with
 /// different schedulers); each call replays the identical availability
-/// realization.
+/// realization.  The realization is sampled lazily on the first run (or by
+/// realization()) and cached, so a 19-heuristic comparison pays the
+/// sampling cost once, not 19 times.
+///
+/// Thread-safety: concurrent run() calls on one Simulation require the
+/// shared realization to be materialized first — call
+/// realization()->ensure(horizon) — because lazy trace growth is not
+/// synchronized.  Distinct Simulation objects are always independent (the
+/// pattern the sweep/campaign drivers use).
 class Simulation {
 public:
     /// `models` must have one entry per processor.  `beliefs` must be empty
@@ -126,13 +149,31 @@ public:
 
     [[nodiscard]] const Platform& platform() const noexcept { return platform_; }
     [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+    /// The shared realized-availability snapshot all runs replay: sampled
+    /// lazily (a pure function of the seed and the availability models) and
+    /// cached across run()/run_for_deadline()/min_slots_for_iterations().
+    /// With trace caching disabled (SimulationBuilder::trace_cache(false))
+    /// every call realizes afresh and nothing is retained.
+    [[nodiscard]] std::shared_ptr<markov::RealizedTraces> realization() const;
 
 private:
+    /// Cached-or-fresh realization per the trace-cache policy.
+    [[nodiscard]] std::shared_ptr<markov::RealizedTraces> acquire_traces() const;
+
+    friend class api::SimulationBuilder; // installs .realized()/.trace_cache()
+
     Platform platform_;
     std::vector<std::unique_ptr<markov::AvailabilityModel>> models_;
     std::vector<markov::MarkovChain> beliefs_;
     EngineConfig config_;
     std::uint64_t seed_;
+    /// Realization cache; pre-seeded by SimulationBuilder::realized().
+    mutable std::shared_ptr<markov::RealizedTraces> traces_;
+    /// False: re-realize on every run (the pre-trace-layer cost model);
+    /// set via SimulationBuilder::trace_cache(false).
+    bool cache_traces_ = true;
 };
 
 } // namespace volsched::sim

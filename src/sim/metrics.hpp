@@ -33,6 +33,11 @@ struct RunMetrics {
     /// Number of UP/RECLAIMED -> DOWN transitions observed.
     long long down_events = 0;
 
+    /// Slots elided by the dead-stretch fast-forward (EngineConfig::
+    /// skip_dead_slots): counted toward the makespan but never simulated
+    /// slot by slot.  Zero when skipping is disabled or never triggered.
+    long long dead_slots_skipped = 0;
+
     /// Workers un-enrolled by the proactive policy (SchedulerClass::
     /// Proactive only; always zero for the paper's dynamic class).
     long long proactive_cancellations = 0;

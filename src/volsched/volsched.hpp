@@ -9,8 +9,8 @@
 ///                                            exp/campaign.hpp, exp/sink.hpp)
 ///  - the curated paper name lists / shim    (core/factory.hpp)
 ///  - the simulation engine and platform     (sim/engine.hpp)
-///  - availability: Markov chains, chain generators, trace replay and
-///    empirical fitting                      (markov/, trace/)
+///  - availability: Markov chains, chain generators, realized RLE traces,
+///    trace replay and empirical fitting     (markov/, trace/)
 ///  - experiment scenarios, sweeps, reports  (exp/)
 ///  - the off-line clairvoyant toolkit       (offline/)
 ///  - CLI / RNG / table utilities            (util/)
@@ -46,6 +46,7 @@
 #include "markov/expectation.hpp"
 #include "markov/gen.hpp"
 #include "markov/io.hpp"
+#include "markov/realized_trace.hpp"
 
 #include "trace/empirical.hpp"
 #include "trace/replay.hpp"

@@ -240,6 +240,43 @@ TEST(Campaign, TwoShardsMergedBitMatchUnshardedSweep) {
     expect_results_identical(merged, expected);
 }
 
+TEST(Campaign, StreamingMergeScalesToManyShardsAndJobs) {
+    // A deliberately larger grid across three shards: the streaming k-way
+    // merge walks the grid pulling one record at a time from the owning
+    // shard's stream (peak memory O(shards + jobs), never O(records)) and
+    // must still bit-match the unsharded sweep, regardless of the order
+    // the shard files are presented in.
+    ve::SweepConfig sweep;
+    sweep.tasks_values = {2, 3};
+    sweep.ncom_values = {1, 2};
+    sweep.wmin_values = {1, 2, 3};
+    sweep.scenarios_per_cell = 5;  // 2*2*3*5 = 60 jobs
+    sweep.trials_per_scenario = 2; // 120 records across the shards
+    sweep.p = 3;
+    sweep.run.iterations = 1;
+    sweep.master_seed = 4242;
+    sweep.threads = 2;
+    const auto expected = ve::run_sweep(sweep, kHeuristics);
+
+    TempDir root;
+    std::vector<std::filesystem::path> files;
+    for (int k = 1; k <= 3; ++k) {
+        ve::CampaignConfig cfg;
+        cfg.sweep = sweep;
+        cfg.heuristics = kHeuristics;
+        cfg.directory = root.path() / ve::shard_directory_name(k, 3);
+        cfg.shard_index = k;
+        cfg.shard_count = 3;
+        cfg.checkpoint_jobs = 7; // deliberately not a divisor of 20
+        const auto outcome = ve::run_campaign(cfg);
+        ASSERT_TRUE(outcome.complete);
+        files.push_back(outcome.jsonl_path);
+    }
+    std::swap(files[0], files[2]); // merge order must not matter
+    const auto merged = ve::merge_shards(files);
+    expect_results_identical(merged, expected);
+}
+
 TEST(Campaign, SingleShardMatchesSweepAndRerunIsNoOp) {
     const auto sweep = small_sweep();
     const auto expected = ve::run_sweep(sweep, kHeuristics);

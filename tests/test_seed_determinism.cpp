@@ -118,6 +118,63 @@ TEST(SeedDeterminism, BuilderPathReplaysTheConstructorPathExactly) {
     }
 }
 
+TEST(SeedDeterminism, SlotSkippingLeavesActionTracesUnchanged) {
+    // The dead-stretch fast-forward may only elide slots in which nothing
+    // can happen, so metrics and the exact per-slot action traces must be
+    // bit-identical with the optimization on or off.  Volatile chains on a
+    // tiny platform make all-workers-DOWN stretches frequent enough that
+    // the skip path genuinely fires (asserted via dead_slots_skipped).
+    vs::Platform pf;
+    pf.w = {2, 3, 4};
+    pf.ncom = 2;
+    pf.t_prog = 3;
+    pf.t_data = 1;
+    const std::vector<volsched::markov::MarkovChain> chains(
+        3, vt::chain3(0.35, 0.05, 0.10, 0.30, 0.15, 0.05));
+
+    long long skipped_total = 0;
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        vs::ActionTrace skip_trace, step_trace;
+
+        vs::EngineConfig cfg = vt::audited_config(2, 4);
+        cfg.skip_dead_slots = true;
+        cfg.actions = &skip_trace;
+        const auto skipping =
+            vs::Simulation::from_chains(pf, chains, cfg, 17);
+        const auto sched1 = vc::make_scheduler(name);
+        const auto m1 = skipping.run(*sched1);
+
+        cfg.skip_dead_slots = false;
+        cfg.actions = &step_trace;
+        const auto stepping =
+            vs::Simulation::from_chains(pf, chains, cfg, 17);
+        const auto sched2 = vc::make_scheduler(name);
+        const auto m2 = stepping.run(*sched2);
+
+        EXPECT_EQ(m2.dead_slots_skipped, 0) << name;
+        EXPECT_EQ(m1.makespan, m2.makespan) << name;
+        EXPECT_EQ(m1.completed, m2.completed) << name;
+        EXPECT_EQ(m1.tasks_completed, m2.tasks_completed) << name;
+        EXPECT_EQ(m1.down_events, m2.down_events) << name;
+        EXPECT_EQ(m1.transfer_slots, m2.transfer_slots) << name;
+        EXPECT_EQ(m1.compute_slots, m2.compute_slots) << name;
+        EXPECT_EQ(m1.iteration_ends, m2.iteration_ends) << name;
+        ASSERT_EQ(m1.per_proc.size(), m2.per_proc.size()) << name;
+        for (std::size_t q = 0; q < m1.per_proc.size(); ++q) {
+            EXPECT_EQ(m1.per_proc[q].up_slots, m2.per_proc[q].up_slots)
+                << name << " proc " << q;
+            EXPECT_EQ(m1.per_proc[q].down_events, m2.per_proc[q].down_events)
+                << name << " proc " << q;
+        }
+        EXPECT_TRUE(same_trace(skip_trace, step_trace))
+            << name << ": slot-skipping changed the action trace";
+        skipped_total += m1.dead_slots_skipped;
+    }
+    EXPECT_GT(skipped_total, 0)
+        << "scenario never exercised the dead-stretch fast-forward; "
+           "volatility too low for the test to be meaningful";
+}
+
 TEST(SeedDeterminism, HeuristicsShareTheAvailabilityRealization) {
     // run_instance gives every heuristic the same availability draw; the
     // per-processor UP-slot accounting must therefore agree across

@@ -51,6 +51,10 @@ void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration) {
                 m.wasted_transfer_slots);
     std::printf("compute slots    %lld  (wasted %lld)\n", m.compute_slots,
                 m.wasted_compute_slots);
+    if (m.dead_slots_skipped > 0)
+        std::printf("dead slots       %lld fast-forwarded (all workers "
+                    "absent)\n",
+                    m.dead_slots_skipped);
 }
 
 } // namespace
@@ -73,6 +77,8 @@ int main(int argc, char** argv) {
     cli.add_int("replicas", 2, "extra replica cap per task");
     cli.add_int("seed", 42, "master seed");
     cli.add_int("mean-up", 120, "mean UP sojourn (semi-Markov models)");
+    cli.add_flag("no-skip", "disable the engine's dead-stretch fast-forward "
+                            "(results are identical either way)");
     cli.add_flag("timeline", "print the ASCII activity chart");
     cli.add_int("timeline-window", 120, "chart slots to display");
     cli.add_string("events", "", "write the event log to this CSV path");
@@ -152,7 +158,8 @@ int main(int argc, char** argv) {
 
     builder.iterations(static_cast<int>(cli.get_int("iterations")))
         .tasks_per_iteration(static_cast<int>(cli.get_int("tasks")))
-        .replica_cap(static_cast<int>(cli.get_int("replicas")));
+        .replica_cap(static_cast<int>(cli.get_int("replicas")))
+        .skip_dead_slots(!cli.get_flag("no-skip"));
     const auto& cls = cli.get_string("class");
     if (cls == "passive") builder.plan_class(sim::SchedulerClass::Passive);
     else if (cls == "proactive")
