@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON (bench/report.hpp schema) against the newest
+committed BENCH_*.json perf-trajectory data point and warn on regressions.
+
+Usage:
+    scripts/bench_compare.py NEW.json [--repo DIR] [--threshold PCT]
+                             [--strict]
+
+The committed baseline is the lexicographically newest BENCH_*.json in the
+repository root (the files are date-named, so newest name == newest data
+point).  Benchmarks are matched by name; for each match, slots_per_sec
+dropping more than --threshold percent (default 20) below the baseline
+counts as a regression.  Regressions are reported as warnings — CI smoke
+runners are noisy shared machines, so the default exit code stays 0; pass
+--strict to turn regressions into a nonzero exit.
+
+Benchmarks present on only one side are listed informationally and never
+fail the comparison (new benchmarks appear, old ones get renamed).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("volsched_bench") != 1:
+        raise SystemExit(f"error: {path} is not a volsched bench JSON "
+                         "(missing volsched_bench=1)")
+    return doc.get("bench", "?"), {r["name"]: r for r in doc["results"]}
+
+
+def newest_baseline(repo):
+    candidates = sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    return candidates[-1] if candidates else None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a bench JSON against the committed baseline")
+    parser.add_argument("new_json", help="freshly measured bench JSON")
+    parser.add_argument("--repo", default=".",
+                        help="repository root holding BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when a regression is found")
+    args = parser.parse_args()
+
+    baseline_path = newest_baseline(args.repo)
+    if baseline_path is None:
+        print("bench_compare: no committed BENCH_*.json baseline; "
+              "nothing to compare against")
+        return 0
+
+    base_tool, base = load_results(baseline_path)
+    new_tool, new = load_results(args.new_json)
+    print(f"bench_compare: {args.new_json} ({new_tool}) vs "
+          f"{os.path.basename(baseline_path)} ({base_tool}), "
+          f"threshold {args.threshold:.0f}%")
+
+    regressions = []
+    for name in sorted(set(base) & set(new)):
+        old_rate = base[name].get("slots_per_sec", 0.0)
+        new_rate = new[name].get("slots_per_sec", 0.0)
+        if old_rate <= 0:
+            continue
+        delta = 100.0 * (new_rate - old_rate) / old_rate
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"  {name:40s} {old_rate:14.0f} -> {new_rate:14.0f} "
+              f"({delta:+6.1f}%){marker}")
+
+    for name in sorted(set(base) - set(new)):
+        print(f"  {name:40s} only in baseline")
+    for name in sorted(set(new) - set(base)):
+        print(f"  {name:40s} only in new run (no baseline yet)")
+
+    if regressions:
+        print(f"\n::warning::bench_compare: {len(regressions)} benchmark(s) "
+              f"regressed more than {args.threshold:.0f}% vs "
+              f"{os.path.basename(baseline_path)}: " +
+              ", ".join(f"{n} ({d:+.1f}%)" for n, d in regressions))
+        if args.strict:
+            return 1
+    else:
+        print("no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

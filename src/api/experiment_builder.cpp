@@ -5,6 +5,7 @@
 
 #include "api/campaign_builder.hpp"
 #include "api/registry.hpp"
+#include "ckpt/registry.hpp"
 #include "core/factory.hpp"
 #include "util/cli.hpp"
 
@@ -125,6 +126,35 @@ ExperimentBuilder& ExperimentBuilder::plan_class(sim::SchedulerClass c) {
     return *this;
 }
 
+ExperimentBuilder&
+ExperimentBuilder::checkpoints(std::vector<std::string> specs) {
+    // Same eager-validation story as heuristics(): a typo fails at
+    // composition time with the checkpoint registry's did-you-mean message.
+    for (const auto& spec : specs)
+        ckpt::CheckpointRegistry::instance().validate(spec);
+    config_.checkpoint_values = std::move(specs);
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::checkpoint(const std::string& spec) {
+    return checkpoints({spec});
+}
+
+ExperimentBuilder& ExperimentBuilder::checkpoint_cost(int slots) {
+    config_.run.checkpoint_cost = slots;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::skip_dead_slots(bool on) {
+    config_.run.skip_dead_slots = on;
+    return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::audit(bool on) {
+    config_.run.audit = on;
+    return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t master_seed) {
     config_.master_seed = master_seed;
     return *this;
@@ -160,6 +190,10 @@ void ExperimentBuilder::validate() const {
     require_positive("iterations", config_.run.iterations);
     require_positive("max_slots", config_.run.max_slots);
     if (config_.run.replica_cap < 0) fail("replica_cap is negative");
+    if (config_.run.checkpoint_cost < 0) fail("checkpoint_cost is negative");
+    if (config_.checkpoint_values.empty())
+        fail("checkpoint axis is empty; call .checkpoints({...}) with at "
+             "least one policy spec (\"none\" is the paper's model)");
     // isfinite also rejects NaN, which every < comparison would wave
     // through — and which would poison the JSONL campaign headers.
     if (!std::isfinite(config_.tdata_factor) || config_.tdata_factor < 0 ||

@@ -56,11 +56,26 @@ public:
     ExperimentBuilder& tdata_factor(double f);
     ExperimentBuilder& tprog_factor(double f);
 
+    /// The checkpoint-policy axis (ckpt registry specs, validated eagerly):
+    /// the classic grid is replicated per policy with shared scenario/trial
+    /// seeds, so every policy faces identical draws and realizations.
+    /// Default: {"none"}, the paper's checkpoint-free grid.
+    ExperimentBuilder& checkpoints(std::vector<std::string> specs);
+    /// Sugar: a single-policy axis.
+    ExperimentBuilder& checkpoint(const std::string& spec);
+
     // Per-run engine knobs (exp::RunConfig).
     ExperimentBuilder& iterations(int n);
     ExperimentBuilder& replica_cap(int n);
     ExperimentBuilder& max_slots(long long n);
     ExperimentBuilder& plan_class(sim::SchedulerClass c);
+    /// Master transfer slots per checkpoint upload (default 1).
+    ExperimentBuilder& checkpoint_cost(int slots);
+    /// Engine dead-stretch fast-forward (default on; results identical
+    /// either way — an A/B and debugging knob).
+    ExperimentBuilder& skip_dead_slots(bool on = true);
+    /// Per-slot engine invariant auditing (default off; slow).
+    ExperimentBuilder& audit(bool on = true);
 
     ExperimentBuilder& seed(std::uint64_t master_seed);
     ExperimentBuilder& threads(std::size_t n);

@@ -1,10 +1,11 @@
 #include "api/registry.hpp"
 
-#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "util/fuzzy.hpp"
 
 namespace volsched::api {
 
@@ -17,34 +18,6 @@ void scheduler_tu_anchor_greedy();
 void scheduler_tu_anchor_random();
 void scheduler_tu_anchor_extensions();
 } // namespace detail
-
-namespace {
-
-std::string lowercase(std::string_view s) {
-    std::string out(s);
-    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    return out;
-}
-
-/// Classic Levenshtein distance, O(|a|*|b|).
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-            diag = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
-        }
-    }
-    return row[b.size()];
-}
-
-} // namespace
 
 SchedulerRegistry& SchedulerRegistry::instance() {
     static SchedulerRegistry registry;
@@ -102,25 +75,7 @@ std::vector<std::string> SchedulerRegistry::names() const {
 }
 
 std::string SchedulerRegistry::suggestion_for(std::string_view name) const {
-    const std::string needle = lowercase(name);
-    std::string best;
-    std::size_t best_dist = 0;
-    {
-        std::lock_guard lock(mutex_);
-        for (const auto& [candidate, info] : entries_) {
-            const std::size_t d = edit_distance(needle, lowercase(candidate));
-            if (best.empty() || d < best_dist ||
-                (d == best_dist && candidate < best)) {
-                best = candidate;
-                best_dist = d;
-            }
-        }
-    }
-    // Only suggest names that are plausibly a typo of the input: allow one
-    // edit per three characters, but always at least two.
-    const std::size_t cutoff = std::max<std::size_t>(2, needle.size() / 3);
-    if (best.empty() || best_dist > cutoff) return {};
-    return best;
+    return util::closest_name(name, names());
 }
 
 SchedulerRegistry::Resolved
@@ -204,22 +159,12 @@ bool detail::add_at_static_init(SchedulerInfo info) noexcept {
 }
 
 void require_no_options(const SchedulerSpec& spec) {
-    if (!spec.options().empty())
-        throw std::invalid_argument(
-            "scheduler spec '" + spec.canonical() + "': '" + spec.name() +
-            "' takes no options, got '" + spec.options().front().first + "'");
+    require_no_options(spec, "scheduler spec");
 }
 
 void require_only_options(const SchedulerSpec& spec,
                           std::initializer_list<std::string_view> allowed) {
-    for (const auto& [key, value] : spec.options()) {
-        bool ok = false;
-        for (std::string_view a : allowed) ok = ok || key == a;
-        if (!ok)
-            throw std::invalid_argument("scheduler spec '" + spec.canonical() +
-                                        "': unknown option '" + key +
-                                        "' for '" + spec.name() + "'");
-    }
+    require_only_options(spec, allowed, "scheduler spec");
 }
 
 } // namespace volsched::api

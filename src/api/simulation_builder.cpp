@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ckpt/registry.hpp"
 #include "trace/empirical.hpp"
 
 namespace volsched::api {
@@ -179,6 +180,25 @@ SimulationBuilder& SimulationBuilder::actions(sim::ActionTrace* at) {
     return *this;
 }
 
+SimulationBuilder& SimulationBuilder::checkpoint(const std::string& spec) {
+    // Resolves eagerly: a typo fails here with the checkpoint registry's
+    // did-you-mean message, not at build().
+    return checkpoint(std::shared_ptr<const ckpt::CheckpointPolicy>(
+        ckpt::CheckpointRegistry::instance().make(spec)));
+}
+
+SimulationBuilder& SimulationBuilder::checkpoint(
+    std::shared_ptr<const ckpt::CheckpointPolicy> policy) {
+    if (!policy) fail(".checkpoint(...) got a null policy");
+    checkpoint_ = std::move(policy);
+    return *this;
+}
+
+SimulationBuilder& SimulationBuilder::checkpoint_cost(int slots) {
+    config_.checkpoint_cost = slots;
+    return *this;
+}
+
 SimulationBuilder& SimulationBuilder::seed(std::uint64_t s) {
     seed_ = s;
     return *this;
@@ -255,6 +275,12 @@ sim::Simulation SimulationBuilder::build() {
                                config_, seed_);
     simulation.cache_traces_ = cache_traces_;
     if (realized_) simulation.traces_ = std::move(realized_);
+    if (checkpoint_) {
+        // The simulation keeps the resolved policy alive; the raw config
+        // pointer the engine reads targets the shared object.
+        simulation.checkpoint_policy_ = std::move(checkpoint_);
+        simulation.config_.checkpoint = simulation.checkpoint_policy_.get();
+    }
     return simulation;
 }
 

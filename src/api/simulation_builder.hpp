@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/policy.hpp"
 #include "markov/availability.hpp"
 #include "markov/chain.hpp"
 #include "sim/engine.hpp"
@@ -120,6 +121,18 @@ public:
     SimulationBuilder& timeline(sim::Timeline* tl);
     SimulationBuilder& actions(sim::ActionTrace* at);
 
+    /// Attaches a checkpoint/restart policy by registry spec — "none",
+    /// "periodic20", "daly", "risk(percent=25)", ... (ckpt/registry.hpp;
+    /// `volsched_sim --list-checkpoints` prints all names).  The built
+    /// Simulation owns the resolved policy.  With "none" the run is
+    /// bit-identical to not calling this at all.
+    SimulationBuilder& checkpoint(const std::string& spec);
+    /// Attaches an already-built policy (shared across simulations).
+    SimulationBuilder& checkpoint(std::shared_ptr<const ckpt::CheckpointPolicy> policy);
+    /// Master transfer slot-units one checkpoint upload costs (default 1;
+    /// zero commits instantly).
+    SimulationBuilder& checkpoint_cost(int slots);
+
     SimulationBuilder& seed(std::uint64_t s);
 
     /// Attaches a pre-sampled realization snapshot, sharing availability
@@ -152,6 +165,7 @@ private:
     std::optional<AvailabilitySource> source_;
     std::optional<std::vector<markov::MarkovChain>> belief_override_;
     std::shared_ptr<markov::RealizedTraces> realized_;
+    std::shared_ptr<const ckpt::CheckpointPolicy> checkpoint_;
     bool uninformed_ = false;
     bool cache_traces_ = true;
     sim::EngineConfig config_{};

@@ -144,4 +144,26 @@ bool SchedulerSpec::operator==(const SchedulerSpec& other) const {
            inner_ == other.inner_;
 }
 
+void require_no_options(const SchedulerSpec& spec, std::string_view kind) {
+    if (!spec.options().empty())
+        throw std::invalid_argument(
+            std::string(kind) + " '" + spec.canonical() + "': '" +
+            spec.name() + "' takes no options, got '" +
+            spec.options().front().first + "'");
+}
+
+void require_only_options(const SchedulerSpec& spec,
+                          std::initializer_list<std::string_view> allowed,
+                          std::string_view kind) {
+    for (const auto& [key, value] : spec.options()) {
+        bool ok = false;
+        for (std::string_view a : allowed) ok = ok || key == a;
+        if (!ok)
+            throw std::invalid_argument(std::string(kind) + " '" +
+                                        spec.canonical() +
+                                        "': unknown option '" + key +
+                                        "' for '" + spec.name() + "'");
+    }
+}
+
 } // namespace volsched::api

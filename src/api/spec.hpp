@@ -19,6 +19,7 @@
 /// parses back to an equal spec (shorthand names like "thr50" are kept
 /// verbatim; the registry, not the parser, knows how to expand them).
 
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -72,5 +73,14 @@ private:
                                        // element type is allowed, keeps the
                                        // class copyable)
 };
+
+/// Factory-side option validation shared by the spec-driven registries
+/// (scheduler and checkpoint); `kind` labels diagnostics, e.g. "scheduler
+/// spec" or "checkpoint spec".  The registries wrap these with their own
+/// fixed label (api::require_no_options, ckpt::require_no_options, ...).
+void require_no_options(const SchedulerSpec& spec, std::string_view kind);
+void require_only_options(const SchedulerSpec& spec,
+                          std::initializer_list<std::string_view> allowed,
+                          std::string_view kind);
 
 } // namespace volsched::api

@@ -1,0 +1,161 @@
+/// \file policies.cpp
+/// The built-in checkpoint policies — `none`, `periodic(k)`, `daly`, and
+/// `risk(percent)` — each self-registering with the checkpoint registry
+/// from this translation unit (see registry.hpp for the mechanism).
+///
+/// All four are pure functions of the CheckpointView: no internal state, no
+/// RNG, so engine determinism is preserved by construction.
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/policies.hpp"
+#include "ckpt/registry.hpp"
+#include "markov/expectation.hpp"
+
+namespace volsched::ckpt {
+
+int daly_interval(const markov::TransitionMatrix& m, int cost) noexcept {
+    const double mttd = markov::mean_time_to_down(m);
+    if (!std::isfinite(mttd)) return 0;
+    const double tau =
+        std::sqrt(2.0 * static_cast<double>(cost < 1 ? 1 : cost) * mttd);
+    const double rounded = std::nearbyint(tau);
+    return rounded < 1.0 ? 1 : static_cast<int>(rounded);
+}
+
+double crash_risk(const markov::TransitionMatrix& m, int remaining) noexcept {
+    if (remaining <= 0) return 0.0;
+    return 1.0 - markov::p_ud_exact(m, static_cast<unsigned>(remaining));
+}
+
+namespace {
+
+/// Strict whole-token integer option parse with a spec-quoting diagnostic.
+long parse_int_option(const api::SchedulerSpec& spec, const char* key,
+                      const std::string& text, long lo, long hi) {
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || value < lo || value > hi)
+        throw std::invalid_argument(
+            "checkpoint spec '" + spec.canonical() + "': " + key + " '" +
+            text + "' is not an integer in [" + std::to_string(lo) + ", " +
+            std::to_string(hi) + "]");
+    return value;
+}
+
+/// The paper's model: never checkpoint.  Attaching this policy is
+/// bit-identical to attaching no policy at all (pinned by test_ckpt).
+class NonePolicy final : public CheckpointPolicy {
+public:
+    bool should_checkpoint(const CheckpointView&) const override {
+        return false;
+    }
+    std::string_view name() const override { return "none"; }
+};
+
+/// Fixed-interval checkpointing: snapshot after every k compute slots.
+class PeriodicPolicy final : public CheckpointPolicy {
+public:
+    explicit PeriodicPolicy(int k) : k_(k) {}
+    bool should_checkpoint(const CheckpointView& v) const override {
+        return v.computed >= k_;
+    }
+    std::string_view name() const override { return "periodic"; }
+
+private:
+    int k_;
+};
+
+/// Young/Daly interval from the worker's belief chain: checkpoint after
+/// sqrt(2 * C * MTTD) compute slots.  The interval is a pure function of
+/// (belief, cost), so it is re-derived per decision — cheap (a 2x2 linear
+/// solve) and stateless, which is what the determinism contract wants.
+class DalyPolicy final : public CheckpointPolicy {
+public:
+    bool should_checkpoint(const CheckpointView& v) const override {
+        if (v.belief == nullptr) return false;
+        const int tau = daly_interval(v.belief->matrix(), v.cost);
+        return tau > 0 && v.computed >= tau;
+    }
+    std::string_view name() const override { return "daly"; }
+};
+
+/// Risk threshold: checkpoint as soon as the belief chain's probability of
+/// crashing before the task's completion boundary exceeds `percent`/100.
+class RiskPolicy final : public CheckpointPolicy {
+public:
+    explicit RiskPolicy(double threshold) : threshold_(threshold) {}
+    bool should_checkpoint(const CheckpointView& v) const override {
+        if (v.belief == nullptr) return false;
+        return crash_risk(v.belief->matrix(), v.remaining) > threshold_;
+    }
+    std::string_view name() const override { return "risk"; }
+
+private:
+    double threshold_;
+};
+
+} // namespace
+
+} // namespace volsched::ckpt
+
+VOLSCHED_CHECKPOINT_TU_ANCHOR(builtin)
+
+namespace volsched::ckpt {
+
+VOLSCHED_REGISTER_CHECKPOINT(none, {
+    "none", "never checkpoint (the paper's crash-lose-everything model)",
+    [](const api::SchedulerSpec& spec) -> std::unique_ptr<CheckpointPolicy> {
+        require_no_options(spec);
+        return std::make_unique<NonePolicy>();
+    }});
+
+VOLSCHED_REGISTER_CHECKPOINT(periodic, {
+    "periodic",
+    "checkpoint after every k compute slots (periodic20, periodic(k=20))",
+    [](const api::SchedulerSpec& spec) -> std::unique_ptr<CheckpointPolicy> {
+        require_only_options(spec, {"k"});
+        const std::string* k_text = spec.option("k");
+        if (k_text == nullptr)
+            throw std::invalid_argument(
+                "checkpoint spec '" + spec.canonical() +
+                "': 'periodic' needs an interval, e.g. periodic20 or "
+                "periodic(k=20)");
+        const long k = parse_int_option(spec, "k", *k_text, 1, 1'000'000'000);
+        return std::make_unique<PeriodicPolicy>(static_cast<int>(k));
+    },
+    /*shorthand_option=*/"k"});
+
+VOLSCHED_REGISTER_CHECKPOINT(daly, {
+    "daly",
+    "Young/Daly interval sqrt(2*C*MTTD) from the belief chain's mean time "
+    "to DOWN",
+    [](const api::SchedulerSpec& spec) -> std::unique_ptr<CheckpointPolicy> {
+        require_no_options(spec);
+        return std::make_unique<DalyPolicy>();
+    }});
+
+VOLSCHED_REGISTER_CHECKPOINT(risk, {
+    "risk",
+    "checkpoint when P(crash before the task completes) exceeds percent/100 "
+    "(risk25, risk(percent=25))",
+    [](const api::SchedulerSpec& spec) -> std::unique_ptr<CheckpointPolicy> {
+        require_only_options(spec, {"percent"});
+        const std::string* percent_text = spec.option("percent");
+        if (percent_text == nullptr)
+            throw std::invalid_argument(
+                "checkpoint spec '" + spec.canonical() +
+                "': 'risk' needs a threshold, e.g. risk25 or "
+                "risk(percent=25)");
+        const long percent =
+            parse_int_option(spec, "percent", *percent_text, 0, 100);
+        return std::make_unique<RiskPolicy>(static_cast<double>(percent) /
+                                            100.0);
+    },
+    /*shorthand_option=*/"percent"});
+
+} // namespace volsched::ckpt

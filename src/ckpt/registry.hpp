@@ -1,0 +1,147 @@
+#pragma once
+/// \file registry.hpp
+/// Self-registering checkpoint-policy registry, mirroring the scheduler
+/// registry (api/registry.hpp): every policy registers itself from its own
+/// translation unit with VOLSCHED_REGISTER_CHECKPOINT, and the registry
+/// resolves spec strings into policy instances, powers `volsched_sim
+/// --list-checkpoints`, and emits did-you-mean diagnostics for typos.
+///
+/// Specs reuse the api/spec grammar — `name[(key=value,...)]` — but
+/// checkpoint policies do not nest, so inner stages (":") are rejected.
+/// Like scheduler specs, a policy may declare a `shorthand_option` so a
+/// trailing integer is accepted as sugar: "periodic20" resolves exactly
+/// like "periodic(k=20)".
+///
+/// Registering a policy from application code:
+///
+///   VOLSCHED_REGISTER_CHECKPOINT(my_policy, {
+///       "mine", "my one-line description",
+///       [](const volsched::api::SchedulerSpec&) {
+///           return std::make_unique<MyPolicy>();
+///       }});
+///
+/// The static-library force-link note of api/registry.hpp applies here too:
+/// registration TUs inside libvolsched place VOLSCHED_CHECKPOINT_TU_ANCHOR
+/// and are referenced from the registry itself.
+
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "ckpt/policy.hpp"
+
+namespace volsched::ckpt {
+
+class CheckpointRegistry;
+
+/// One registered checkpoint policy.
+struct CheckpointInfo {
+    using Factory = std::function<std::unique_ptr<CheckpointPolicy>(
+        const api::SchedulerSpec&)>;
+
+    CheckpointInfo() = default;
+    CheckpointInfo(std::string name_, std::string description_,
+                   Factory factory_, std::string shorthand_option_ = {})
+        : name(std::move(name_)),
+          description(std::move(description_)),
+          factory(std::move(factory_)),
+          shorthand_option(std::move(shorthand_option_)) {}
+
+    /// Canonical spec-stage name ("none", "periodic", "daly", "risk").
+    std::string name;
+    /// One-line description shown by `volsched_sim --list-checkpoints`.
+    std::string description;
+    /// Builds an instance for a resolved spec stage.
+    Factory factory;
+    /// When non-empty, "<name><digits>" is accepted as shorthand for
+    /// "<name>(<shorthand_option>=<digits>)".
+    std::string shorthand_option;
+};
+
+/// Process-wide registry of checkpoint-policy factories.  Thread-safe;
+/// lookups are case-sensitive, did-you-mean suggestions are not.
+class CheckpointRegistry {
+public:
+    static CheckpointRegistry& instance();
+
+    /// Registers `info`; throws std::invalid_argument on an empty name, a
+    /// name containing spec-structural characters, a missing factory, or a
+    /// duplicate registration.
+    void add(CheckpointInfo info);
+
+    /// Removes a registration (primarily for tests); returns whether the
+    /// name was present.
+    bool erase(const std::string& name);
+
+    [[nodiscard]] bool contains(const std::string& name) const;
+
+    /// All registered entries, sorted by name.
+    [[nodiscard]] std::vector<CheckpointInfo> entries() const;
+
+    /// All registered names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Resolves and instantiates a spec string.  Throws
+    /// std::invalid_argument for grammar errors, unknown names (with a
+    /// did-you-mean suggestion when one is close), or an inner stage.
+    [[nodiscard]] std::unique_ptr<CheckpointPolicy>
+    make(const std::string& spec_text) const;
+    [[nodiscard]] std::unique_ptr<CheckpointPolicy>
+    make(const api::SchedulerSpec& spec) const;
+
+    /// Parses, resolves and test-instantiates the spec (running the real
+    /// factory exercises option validation), discarding the instance;
+    /// throws exactly like make().
+    void validate(const std::string& spec_text) const;
+
+    /// Closest registered name by (case-insensitive) edit distance, or ""
+    /// when nothing is close enough to suggest.
+    [[nodiscard]] std::string suggestion_for(std::string_view name) const;
+
+private:
+    CheckpointRegistry() = default;
+
+    struct Resolved {
+        CheckpointInfo info;    // copied: safe against concurrent add/erase
+        api::SchedulerSpec spec; // shorthand expanded to key=value form
+    };
+    [[nodiscard]] Resolved resolve(const api::SchedulerSpec& spec) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, CheckpointInfo> entries_;
+};
+
+namespace detail {
+/// Static-init-safe add(); see api::detail::add_at_static_init for why an
+/// exception here must be caught and turned into a deliberate abort.
+bool add_at_static_init(CheckpointInfo info) noexcept;
+} // namespace detail
+
+/// Factory-side option validation helpers (checkpoint-spec wording of the
+/// api/registry.hpp pair).
+void require_no_options(const api::SchedulerSpec& spec);
+void require_only_options(const api::SchedulerSpec& spec,
+                          std::initializer_list<std::string_view> allowed);
+
+} // namespace volsched::ckpt
+
+/// Registers a checkpoint policy at static-initialization time.  Use at
+/// namespace scope in the policy's own translation unit; `tag` is any
+/// identifier unique within the TU.
+#define VOLSCHED_REGISTER_CHECKPOINT(tag, ...)                                 \
+    static const bool volsched_checkpoint_registered_##tag [[maybe_unused]] =  \
+        ::volsched::ckpt::detail::add_at_static_init(                          \
+            ::volsched::ckpt::CheckpointInfo __VA_ARGS__)
+
+/// Force-link anchor for registration TUs inside the volsched static
+/// library (see api/registry.hpp for the mechanism).
+#define VOLSCHED_CHECKPOINT_TU_ANCHOR(tag)                                     \
+    namespace volsched::ckpt::detail {                                         \
+    void checkpoint_tu_anchor_##tag() {}                                       \
+    }

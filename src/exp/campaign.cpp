@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "api/registry.hpp"
+#include "ckpt/registry.hpp"
 #include "util/atomic_io.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -58,6 +59,15 @@ std::string join_ints(const std::vector<int>& xs) {
     return out;
 }
 
+/// Whether the sweep actually exercises the checkpoint layer.  The default
+/// single-"none" axis is the classic grid: it is excluded from the
+/// fingerprint and the header so pre-checkpoint campaign files stay valid
+/// (and resumable) under the current code.
+bool has_checkpoint_axis(const SweepConfig& cfg) {
+    return cfg.checkpoint_values.size() != 1 ||
+           cfg.checkpoint_values.front() != "none";
+}
+
 /// The canonical result-determining description (no shard, no threads).
 std::string canonical_description(const SweepConfig& cfg,
                                   const std::vector<std::string>& heuristics) {
@@ -74,6 +84,14 @@ std::string canonical_description(const SweepConfig& cfg,
     s += ";replica_cap=" + std::to_string(cfg.run.replica_cap);
     s += ";max_slots=" + std::to_string(cfg.run.max_slots);
     s += ";plan_class=" + std::string(plan_class_name(cfg.run.plan_class));
+    if (has_checkpoint_axis(cfg)) {
+        s += ";checkpoints=";
+        for (std::size_t c = 0; c < cfg.checkpoint_values.size(); ++c) {
+            if (c) s += ',';
+            s += cfg.checkpoint_values[c];
+        }
+        s += ";checkpoint_cost=" + std::to_string(cfg.run.checkpoint_cost);
+    }
     s += ";heuristics=";
     for (std::size_t h = 0; h < heuristics.size(); ++h) {
         if (h) s += ',';
@@ -137,6 +155,11 @@ void replay_records(SweepResult& result, const SweepConfig& cfg,
                      " but the grid expects " +
                      std::to_string(job.scenario.seed) +
                      " (records from a different campaign?)");
+            if (rec.scenario.checkpoint != job.scenario.checkpoint)
+                fail(source + ": ordinal " + std::to_string(job.ordinal) +
+                     " carries checkpoint policy '" +
+                     rec.scenario.checkpoint + "' but the grid expects '" +
+                     job.scenario.checkpoint + "'");
             if (rec.makespans.size() != num_heuristics)
                 fail(source + ": ordinal " + std::to_string(job.ordinal) +
                      " has " + std::to_string(rec.makespans.size()) +
@@ -216,7 +239,17 @@ std::string campaign_header_line(const CampaignConfig& cfg) {
     out += ",\"max_slots\":" + std::to_string(sw.run.max_slots);
     out += ",\"plan_class\":\"";
     out += plan_class_name(sw.run.plan_class);
-    out += "\"}}";
+    out += '"';
+    if (has_checkpoint_axis(sw)) {
+        out += ",\"checkpoints\":[";
+        for (std::size_t c = 0; c < sw.checkpoint_values.size(); ++c) {
+            if (c) out += ',';
+            out += '"' + util::json::escape(sw.checkpoint_values[c]) + '"';
+        }
+        out += "],\"checkpoint_cost\":" +
+               std::to_string(sw.run.checkpoint_cost);
+    }
+    out += "}}";
     return out;
 }
 
@@ -255,6 +288,14 @@ CampaignHeader parse_campaign_header(const std::string& line) {
     sw.run.replica_cap = static_cast<int>(c.at("replica_cap").as_i64());
     sw.run.max_slots = c.at("max_slots").as_i64();
     sw.run.plan_class = plan_class_from(c.at("plan_class").as_string());
+    // Optional (absent in classic, checkpoint-free campaign files).
+    if (const auto* ckpts = c.find("checkpoints")) {
+        sw.checkpoint_values.clear();
+        for (const auto& v : ckpts->items())
+            sw.checkpoint_values.push_back(v.as_string());
+        sw.run.checkpoint_cost =
+            static_cast<int>(c.at("checkpoint_cost").as_i64());
+    }
     if (campaign_fingerprint(sw, header.heuristics) != header.fingerprint)
         throw std::invalid_argument(
             "campaign: header fingerprint does not match its configuration "
@@ -332,6 +373,10 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         throw std::invalid_argument("campaign: no heuristics");
     for (const auto& name : cfg.heuristics)
         api::SchedulerRegistry::instance().validate(name);
+    if (cfg.sweep.checkpoint_values.empty())
+        throw std::invalid_argument("campaign: empty checkpoint axis");
+    for (const auto& spec : cfg.sweep.checkpoint_values)
+        ckpt::CheckpointRegistry::instance().validate(spec);
 
     const std::vector<GridJob> jobs =
         shard_jobs(cfg.sweep, cfg.shard_index, cfg.shard_count);
@@ -381,7 +426,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
 
     JsonlSink jsonl(jsonl_file, campaign_header_line(cfg));
     std::optional<CsvSink> csv;
-    if (cfg.write_csv) csv.emplace(csv_file, cfg.heuristics);
+    if (cfg.write_csv)
+        csv.emplace(csv_file, cfg.heuristics,
+                    has_checkpoint_axis(cfg.sweep));
 
     CampaignResult result(cfg.heuristics);
     result.jobs_total = static_cast<long long>(jobs.size());
@@ -442,11 +489,12 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
             batch_records[i].reserve(static_cast<std::size_t>(trials));
             for (int trial = 0; trial < trials; ++trial) {
                 const std::uint64_t trial_seed = util::mix_seed(
-                    cfg.sweep.master_seed, 0x54524cULL, job.ordinal,
+                    cfg.sweep.master_seed, 0x54524cULL, job.seed_ordinal,
                     static_cast<std::uint64_t>(trial));
                 auto outcome =
                     run_instance(rs, job.scenario.tasks, cfg.heuristics,
-                                 cfg.sweep.run, trial_seed);
+                                 cfg.sweep.run, trial_seed,
+                                 job.scenario.checkpoint);
                 local[i].add_instance(outcome.makespans);
                 InstanceRecord rec;
                 rec.scenario_ordinal = job.ordinal;
@@ -659,6 +707,11 @@ merge_shards(const std::vector<std::filesystem::path>& jsonl_files) {
                      " but the grid expects " +
                      std::to_string(job.scenario.seed) +
                      " (records from a different campaign?)");
+            if (rec->scenario.checkpoint != job.scenario.checkpoint)
+                fail("merge: ordinal " + std::to_string(job.ordinal) +
+                     " carries checkpoint policy '" +
+                     rec->scenario.checkpoint + "' but the grid expects '" +
+                     job.scenario.checkpoint + "'");
             if (rec->makespans.size() != num_heuristics)
                 fail("merge: ordinal " + std::to_string(job.ordinal) +
                      " has " + std::to_string(rec->makespans.size()) +

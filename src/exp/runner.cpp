@@ -1,18 +1,31 @@
 #include "exp/runner.hpp"
 
 #include "api/registry.hpp"
+#include "ckpt/registry.hpp"
 
 namespace volsched::exp {
 
 InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
                              const std::vector<std::string>& heuristics,
-                             const RunConfig& cfg, std::uint64_t trial_seed) {
+                             const RunConfig& cfg, std::uint64_t trial_seed,
+                             const std::string& checkpoint) {
     sim::EngineConfig ec;
     ec.iterations = cfg.iterations;
     ec.tasks_per_iteration = tasks;
     ec.replica_cap = cfg.replica_cap;
     ec.max_slots = cfg.max_slots;
     ec.plan_class = cfg.plan_class;
+    ec.skip_dead_slots = cfg.skip_dead_slots;
+    ec.audit = cfg.audit;
+    ec.checkpoint_cost = cfg.checkpoint_cost;
+
+    // The "none" fast path keeps the paper's model literally policy-free:
+    // the engine runs the exact pre-checkpoint-layer code paths.
+    std::unique_ptr<ckpt::CheckpointPolicy> policy;
+    if (checkpoint != "none") {
+        policy = ckpt::CheckpointRegistry::instance().make(checkpoint);
+        ec.checkpoint = policy.get();
+    }
 
     const auto simulation =
         sim::Simulation::from_chains(rs.platform, rs.chains, ec, trial_seed);

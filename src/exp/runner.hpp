@@ -26,12 +26,21 @@ struct RunConfig {
     int replica_cap = 2;
     long long max_slots = 2'000'000;
     sim::SchedulerClass plan_class = sim::SchedulerClass::Dynamic;
+    /// Engine dead-stretch fast-forward (results identical either way).
+    bool skip_dead_slots = true;
+    /// Per-slot invariant auditing (slow; results identical either way).
+    bool audit = false;
+    /// Master transfer slot-units per checkpoint upload (only consulted
+    /// when a scenario's checkpoint spec is not "none").
+    int checkpoint_cost = 1;
 };
 
 /// Runs each heuristic (by factory name) once on the given realized
-/// scenario with the trial-specific seed.
+/// scenario with the trial-specific seed, under the checkpoint policy named
+/// by `checkpoint` ("none" reproduces the paper's model bit-exactly).
 InstanceOutcome run_instance(const RealizedScenario& rs, int tasks,
                              const std::vector<std::string>& heuristics,
-                             const RunConfig& cfg, std::uint64_t trial_seed);
+                             const RunConfig& cfg, std::uint64_t trial_seed,
+                             const std::string& checkpoint = "none");
 
 } // namespace volsched::exp

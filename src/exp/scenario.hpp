@@ -7,6 +7,7 @@
 /// Tprog = tprog_factor * wmin (paper: 5, contention-prone: 25 or 50).
 
 #include <cstdint>
+#include <string>
 
 #include "markov/chain.hpp"
 #include "markov/gen.hpp"
@@ -22,6 +23,11 @@ struct Scenario {
     int wmin = 1;
     double tdata_factor = 1.0;
     double tprog_factor = 5.0;
+    /// Checkpoint-policy spec (ckpt/registry.hpp) this scenario runs under;
+    /// "none" is the paper's crash-lose-everything model.  A sweep axis:
+    /// scenarios differing only here share their seed, so every policy
+    /// faces the identical platform draw and availability realization.
+    std::string checkpoint = "none";
     /// Availability-chain draw bounds; default is the paper's recipe
     /// (self-transition probability in [0.90, 0.99]).  Lower bounds mean
     /// shorter availability intervals, i.e. a more volatile platform.

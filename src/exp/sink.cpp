@@ -109,6 +109,13 @@ std::string JsonlSink::format_record(const InstanceRecord& rec) {
     out += util::json::number(rec.scenario.tprog_factor);
     out += ",\"seed\":";
     out += std::to_string(rec.scenario.seed);
+    if (rec.scenario.checkpoint != "none") {
+        // Only written for real checkpoint sweeps, so classic campaigns
+        // keep producing byte-identical files (and old files parse back).
+        out += ",\"checkpoint\":\"";
+        out += util::json::escape(rec.scenario.checkpoint);
+        out += '"';
+    }
     out += ",\"makespans\":[";
     for (std::size_t h = 0; h < rec.makespans.size(); ++h) {
         if (h) out += ',';
@@ -130,6 +137,8 @@ InstanceRecord JsonlSink::parse_record(std::string_view line) {
     rec.scenario.tdata_factor = v.at("tdata_factor").as_double();
     rec.scenario.tprog_factor = v.at("tprog_factor").as_double();
     rec.scenario.seed = v.at("seed").as_u64();
+    if (const auto* ckpt = v.find("checkpoint"))
+        rec.scenario.checkpoint = ckpt->as_string();
     for (const auto& m : v.at("makespans").items())
         rec.makespans.push_back(m.as_i64());
     return rec;
@@ -143,9 +152,11 @@ std::string JsonlSink::format(const InstanceRecord& rec) const {
 // CsvSink
 // ---------------------------------------------------------------------------
 
-std::string CsvSink::header_row(const std::vector<std::string>& heuristics) {
+std::string CsvSink::header_row(const std::vector<std::string>& heuristics,
+                                bool with_checkpoint) {
     std::string out = "ordinal,trial,p,tasks,ncom,wmin,tdata_factor,"
                       "tprog_factor,seed";
+    if (with_checkpoint) out += ",checkpoint";
     for (const auto& h : heuristics) {
         out += ',';
         // Heuristic specs never contain CSV metacharacters today, but quote
@@ -156,8 +167,10 @@ std::string CsvSink::header_row(const std::vector<std::string>& heuristics) {
 }
 
 CsvSink::CsvSink(std::filesystem::path path,
-                 const std::vector<std::string>& heuristics)
-    : FileResultSink(std::move(path), header_row(heuristics)) {}
+                 const std::vector<std::string>& heuristics,
+                 bool with_checkpoint)
+    : FileResultSink(std::move(path), header_row(heuristics, with_checkpoint)),
+      with_checkpoint_(with_checkpoint) {}
 
 std::string CsvSink::format(const InstanceRecord& rec) const {
     std::string out = std::to_string(rec.scenario_ordinal);
@@ -177,6 +190,10 @@ std::string CsvSink::format(const InstanceRecord& rec) const {
     out += util::json::number(rec.scenario.tprog_factor);
     out += ',';
     out += std::to_string(rec.scenario.seed);
+    if (with_checkpoint_) {
+        out += ',';
+        out += util::CsvWriter::escape(rec.scenario.checkpoint);
+    }
     for (long long m : rec.makespans) {
         out += ',';
         out += std::to_string(m);

@@ -114,16 +114,23 @@ protected:
 };
 
 /// CSV sink: header row names the scenario columns and one makespan column
-/// per heuristic spec.
+/// per heuristic spec.  `with_checkpoint` adds a checkpoint-policy column
+/// (campaigns enable it exactly when their checkpoint axis is non-trivial,
+/// so classic-campaign CSVs keep their historical shape).
 class CsvSink final : public FileResultSink {
 public:
     CsvSink(std::filesystem::path path,
-            const std::vector<std::string>& heuristics);
+            const std::vector<std::string>& heuristics,
+            bool with_checkpoint = false);
 
-    static std::string header_row(const std::vector<std::string>& heuristics);
+    static std::string header_row(const std::vector<std::string>& heuristics,
+                                  bool with_checkpoint = false);
 
 protected:
     std::string format(const InstanceRecord& rec) const override;
+
+private:
+    bool with_checkpoint_ = false;
 };
 
 } // namespace volsched::exp

@@ -11,26 +11,36 @@ namespace volsched::exp {
 
 std::vector<GridJob> grid_jobs(const SweepConfig& cfg) {
     std::vector<GridJob> jobs;
-    jobs.reserve(cfg.tasks_values.size() * cfg.ncom_values.size() *
-                 cfg.wmin_values.size() *
+    jobs.reserve(cfg.checkpoint_values.size() * cfg.tasks_values.size() *
+                 cfg.ncom_values.size() * cfg.wmin_values.size() *
                  static_cast<std::size_t>(cfg.scenarios_per_cell));
+    // The checkpoint axis is outermost and seeds are derived from the
+    // *inner* (classic-grid) ordinal: policies replicate the exact scenario
+    // and trial streams, so cross-policy comparisons are same-realization —
+    // and with the default single-"none" axis the enumeration, ordinals and
+    // seeds are bit-identical to the pre-checkpoint grid.
     std::uint64_t ordinal = 0;
-    for (int tasks : cfg.tasks_values)
-        for (int ncom : cfg.ncom_values)
-            for (int wmin : cfg.wmin_values)
-                for (int s = 0; s < cfg.scenarios_per_cell; ++s) {
-                    GridJob job;
-                    job.scenario.p = cfg.p;
-                    job.scenario.tasks = tasks;
-                    job.scenario.ncom = ncom;
-                    job.scenario.wmin = wmin;
-                    job.scenario.tdata_factor = cfg.tdata_factor;
-                    job.scenario.tprog_factor = cfg.tprog_factor;
-                    job.scenario.seed =
-                        util::mix_seed(cfg.master_seed, 0x5343u, ordinal);
-                    job.ordinal = ordinal++;
-                    jobs.push_back(job);
-                }
+    for (const std::string& ckpt : cfg.checkpoint_values) {
+        std::uint64_t seed_ordinal = 0;
+        for (int tasks : cfg.tasks_values)
+            for (int ncom : cfg.ncom_values)
+                for (int wmin : cfg.wmin_values)
+                    for (int s = 0; s < cfg.scenarios_per_cell; ++s) {
+                        GridJob job;
+                        job.scenario.p = cfg.p;
+                        job.scenario.tasks = tasks;
+                        job.scenario.ncom = ncom;
+                        job.scenario.wmin = wmin;
+                        job.scenario.tdata_factor = cfg.tdata_factor;
+                        job.scenario.tprog_factor = cfg.tprog_factor;
+                        job.scenario.checkpoint = ckpt;
+                        job.scenario.seed = util::mix_seed(
+                            cfg.master_seed, 0x5343u, seed_ordinal);
+                        job.ordinal = ordinal++;
+                        job.seed_ordinal = seed_ordinal++;
+                        jobs.push_back(job);
+                    }
+    }
     return jobs;
 }
 
@@ -61,10 +71,11 @@ SweepResult run_sweep(const SweepConfig& cfg,
         const RealizedScenario rs = realize(job.scenario);
         for (int trial = 0; trial < cfg.trials_per_scenario; ++trial) {
             const std::uint64_t trial_seed =
-                util::mix_seed(cfg.master_seed, 0x54524cULL, job.ordinal,
+                util::mix_seed(cfg.master_seed, 0x54524cULL, job.seed_ordinal,
                                static_cast<std::uint64_t>(trial));
-            const auto outcome = run_instance(rs, job.scenario.tasks,
-                                              heuristics, cfg.run, trial_seed);
+            const auto outcome =
+                run_instance(rs, job.scenario.tasks, heuristics, cfg.run,
+                             trial_seed, job.scenario.checkpoint);
             local[j].add_instance(outcome.makespans);
             if (cfg.record) {
                 InstanceRecord rec;
@@ -96,6 +107,8 @@ void merge_job_tables(SweepResult& result, const Scenario& scenario,
     merge_into(result.by_wmin, scenario.wmin);
     merge_into(result.by_tasks, scenario.tasks);
     merge_into(result.by_ncom, scenario.ncom);
+    result.by_checkpoint.try_emplace(scenario.checkpoint, num_heuristics)
+        .first->second.merge(local);
 }
 
 } // namespace volsched::exp

@@ -22,6 +22,13 @@ struct SweepConfig {
     std::vector<int> tasks_values{5, 10, 20, 40}; ///< paper's n
     std::vector<int> ncom_values{5, 10, 20};
     std::vector<int> wmin_values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    /// Checkpoint-policy axis (ckpt registry specs); the default single
+    /// "none" reproduces the paper's grid — enumeration order, ordinals and
+    /// seeds — bit-exactly.  With several values the classic grid is
+    /// replicated per policy, and the replicas share their scenario/trial
+    /// seeds (see GridJob::seed_ordinal) so each policy faces the identical
+    /// platform draws and availability realizations.
+    std::vector<std::string> checkpoint_values{"none"};
     int scenarios_per_cell = 3;   ///< paper: 247
     int trials_per_scenario = 3;  ///< paper: 10
     int p = 20;
@@ -41,16 +48,24 @@ struct SweepConfig {
 };
 
 /// One scenario draw of the Table-1 grid, tagged with its global position
-/// in the enumeration.  The ordinal — not the thread, not the shard —
+/// in the enumeration.  The seed ordinal — not the thread, not the shard —
 /// seeds the scenario and its trials, which is what makes sweep results
 /// independent of thread count and campaign sharding.
 struct GridJob {
     Scenario scenario;
+    /// Global position in the enumeration (unique; drives sharding and
+    /// record identity).
     std::uint64_t ordinal = 0;
+    /// Position within the classic (tasks, ncom, wmin, draw) grid — equal
+    /// to `ordinal` modulo the checkpoint axis, so jobs that differ only in
+    /// checkpoint policy share every RNG stream.  With the default
+    /// single-"none" axis, seed_ordinal == ordinal.
+    std::uint64_t seed_ordinal = 0;
 };
 
-/// Enumerates the full grid in canonical order (tasks, ncom, wmin, draw),
-/// deriving each scenario's seed from the master seed and its ordinal.
+/// Enumerates the full grid in canonical order (checkpoint outermost, then
+/// tasks, ncom, wmin, draw), deriving each scenario's seed from the master
+/// seed and its *seed* ordinal.
 std::vector<GridJob> grid_jobs(const SweepConfig& cfg);
 
 struct SweepResult {
@@ -62,6 +77,9 @@ struct SweepResult {
     std::map<int, DfbTable> by_tasks;
     /// Keyed by the master's concurrency bound ncom.
     std::map<int, DfbTable> by_ncom;
+    /// Keyed by checkpoint-policy spec (a single "none" key for the
+    /// classic, checkpoint-free grid).
+    std::map<std::string, DfbTable> by_checkpoint;
 
     SweepResult(std::vector<std::string> names)
         : heuristics(std::move(names)), overall(heuristics.size()) {}

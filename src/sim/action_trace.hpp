@@ -6,6 +6,9 @@
 /// task id otherwise), so a recorded on-line run can be replayed through
 /// the off-line validator — an end-to-end certification that the engine
 /// respects the execution model (used by the cross-check test suite).
+/// Checkpoint uploads (ckpt/policy.hpp) are master-bound and outside the
+/// receive/compute model the validator checks, so they are deliberately
+/// not recorded here; the timeline's 'K' code shows them instead.
 
 #include <vector>
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ckpt/policy.hpp"
 #include "markov/expectation.hpp"
 #include "util/rng.hpp"
 
@@ -41,13 +42,33 @@ struct Worker {
     long long data_start = -1;
     int computing = -1; ///< instance index with complete data, being computed
     int compute_remaining = 0;
+    // Checkpoint upload state (only touched when a policy is attached).
+    bool ckpt_in_flight = false; ///< snapshot upload in progress
+    int ckpt_remaining = 0;      ///< transfer slots left for the upload
+    long long ckpt_start = -1;   ///< upload start slot (FIFO key)
+    int ckpt_progress = 0;       ///< q-scale progress captured by the upload
+    int since_ckpt = 0;          ///< compute slots since the last snapshot
+    int compute_credit = 0;      ///< q-scale progress granted at promotion
+    int ckpt_committed = 0;      ///< q-scale progress of the last snapshot
+                                 ///< committed by THIS incarnation
+};
+
+/// Per-logical-task checkpoint committed at the master: `done` compute
+/// slots on the scale of the snapshotting worker's `w`.  A restart on a
+/// worker with speed w' is credited floor(done * w' / w) slots.
+struct TaskCheckpoint {
+    int done = 0;
+    int w = 1;
 };
 
 /// Transfer descriptor used when ordering the slot's bandwidth allocation.
+/// Kind breaks (start, proc) ties when one worker both receives data and
+/// uploads a checkpoint committed in the same slot.
+enum class TransferKind : std::uint8_t { Prog, Data, Ckpt };
 struct ActiveTransfer {
     long long start;
     ProcId proc;
-    bool is_prog;
+    TransferKind kind;
 };
 
 class Runner {
@@ -97,6 +118,7 @@ public:
             transfers_this_slot_ = 0;
             advance_in_flight(budget);
             start_pending_data(t, budget);
+            start_checkpoints(t, budget);
             plan_and_commit(sched, t, budget);
             advance_compute();
             if (config_.audit) audit_bandwidth();
@@ -134,6 +156,7 @@ private:
             inst.data_remaining = pf_.t_data;
             instances_.push_back(inst);
         }
+        ckpt_store_.assign(static_cast<std::size_t>(m), {});
         plan_counter_ = 0;
     }
 
@@ -179,6 +202,10 @@ private:
                     instances_[w.staged].data_done)
                     throw std::logic_error(
                         "audit: dead-slot skip with a pending promotion");
+                if (w.ckpt_in_flight && w.ckpt_remaining == 0)
+                    throw std::logic_error(
+                        "audit: dead-slot skip with a pending checkpoint "
+                        "commit");
                 for (long long s = from; s < to; ++s)
                     if (cursors_[q].state_at(s) != w.state)
                         throw std::logic_error(
@@ -241,9 +268,34 @@ private:
         if (inst.data_started)
             metrics_.wasted_transfer_slots += pf_.t_data - inst.data_remaining;
         if (w.computing == id) {
-            metrics_.wasted_compute_slots += pf_.w[q] - w.compute_remaining;
+            if (w.ckpt_in_flight) {
+                // The upload's subject is gone; the spent bandwidth is lost.
+                metrics_.wasted_transfer_slots +=
+                    config_.checkpoint_cost - w.ckpt_remaining;
+                w.ckpt_in_flight = false;
+                w.ckpt_remaining = 0;
+                w.ckpt_start = -1;
+                w.ckpt_progress = 0;
+                emit(EventKind::CheckpointLost, q, inst.logical,
+                     inst.kind == InstKind::Replica);
+            }
+            // Lost progress: only the work THIS incarnation computed counts
+            // (its initial credit was computed by an earlier incarnation),
+            // and only the part it committed to the master survives.  A
+            // cancelled sibling of a completed task preserves nothing — its
+            // snapshots have no future incarnation to serve.
+            const int progress = pf_.w[q] - w.compute_remaining;
+            const int own = progress - w.compute_credit;
+            const int preserved =
+                to_pool ? std::clamp(w.ckpt_committed - w.compute_credit, 0,
+                                     own)
+                        : 0;
+            metrics_.wasted_compute_slots += own - preserved;
             w.computing = -1;
             w.compute_remaining = 0;
+            w.since_ckpt = 0;
+            w.compute_credit = 0;
+            w.ckpt_committed = 0;
         }
         if (w.staged == id) {
             w.staged = -1;
@@ -264,42 +316,131 @@ private:
         }
     }
 
-    /// Phase 2a: advance in-flight transfers to UP workers, FIFO by start.
+    /// Phase 2a: advance in-flight transfers to/from UP workers, FIFO by
+    /// start.  Checkpoint uploads ride the same queue as program and data
+    /// downloads: every slot-unit of bandwidth comes out of the one `ncom`
+    /// budget regardless of direction.
     void advance_in_flight(int& budget) {
         active_.clear();
         for (int q = 0; q < pf_.size(); ++q) {
             const Worker& w = workers_[q];
             if (w.state != ProcState::Up) continue;
             if (w.prog_in_flight && w.prog_remaining > 0)
-                active_.push_back({w.prog_start, q, true});
+                active_.push_back({w.prog_start, q, TransferKind::Prog});
             if (w.staged != -1) {
                 const Instance& inst = instances_[w.staged];
                 if (inst.data_started && inst.data_remaining > 0)
-                    active_.push_back({w.data_start, q, false});
+                    active_.push_back({w.data_start, q, TransferKind::Data});
             }
+            if (w.ckpt_in_flight && w.ckpt_remaining > 0)
+                active_.push_back({w.ckpt_start, q, TransferKind::Ckpt});
         }
         std::sort(active_.begin(), active_.end(),
                   [](const ActiveTransfer& a, const ActiveTransfer& b) {
-                      return a.start != b.start ? a.start < b.start
-                                                : a.proc < b.proc;
+                      if (a.start != b.start) return a.start < b.start;
+                      if (a.proc != b.proc) return a.proc < b.proc;
+                      return a.kind < b.kind;
                   });
         for (const auto& tr : active_) {
             if (budget == 0) break;
             Worker& w = workers_[tr.proc];
-            if (tr.is_prog) {
+            if (tr.kind == TransferKind::Prog) {
                 --w.prog_remaining;
                 slot_flags_[tr.proc] |= kFlagProg;
                 record_recv(tr.proc, -2);
-            } else {
+            } else if (tr.kind == TransferKind::Data) {
                 --instances_[w.staged].data_remaining;
                 slot_flags_[tr.proc] |= kFlagData;
                 record_recv(tr.proc, instances_[w.staged].logical);
+            } else {
+                // Checkpoint upload: master-bound, so it is not a received
+                // action (the action trace records the receive/compute
+                // model the off-line validator checks) and not counted in
+                // transfer_slots (program + data); it has its own counter.
+                --w.ckpt_remaining;
+                slot_flags_[tr.proc] |= kFlagCkpt;
+                ++metrics_.checkpoint_slots;
+                ++transfers_this_slot_;
+                --budget;
+                continue;
             }
             ++metrics_.per_proc[tr.proc].transfer_slots;
             ++metrics_.transfer_slots;
             ++transfers_this_slot_;
             --budget;
         }
+    }
+
+    /// Phase 2b': start checkpoint uploads the policy requests — after
+    /// committed data transfers (work in hand beats insurance) but before
+    /// the fresh assignment round (insurance beats speculation).  Pure
+    /// per-worker decisions in processor order; no RNG is consumed, so a
+    /// policy that never fires (`none`) leaves the run bit-identical.
+    void start_checkpoints(long long t, int& budget) {
+        if (!config_.checkpoint) return;
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.computing == -1 ||
+                w.ckpt_in_flight)
+                continue;
+            if (w.since_ckpt <= 0 || w.compute_remaining <= 0) continue;
+            ckpt::CheckpointView view;
+            view.belief = beliefs_ ? &(*beliefs_)[q] : nullptr;
+            view.cost = config_.checkpoint_cost;
+            view.w = pf_.w[q];
+            view.computed = w.since_ckpt;
+            view.remaining = w.compute_remaining;
+            view.slot = t;
+            if (!config_.checkpoint->should_checkpoint(view)) continue;
+            const int progress = pf_.w[q] - w.compute_remaining;
+            const int logical = instances_[w.computing].logical;
+            const bool replica =
+                instances_[w.computing].kind == InstKind::Replica;
+            if (config_.checkpoint_cost == 0) { // zero-cost: instant commit
+                emit(EventKind::CheckpointStart, q, logical, replica);
+                commit_checkpoint(q, logical, progress);
+                w.since_ckpt = 0;
+                continue;
+            }
+            if (budget == 0) return; // no bandwidth: every later start waits
+            w.ckpt_in_flight = true;
+            w.ckpt_remaining = config_.checkpoint_cost - 1; // one slot now
+            w.ckpt_start = t;
+            w.ckpt_progress = progress;
+            w.since_ckpt = 0;
+            ++metrics_.checkpoint_slots;
+            ++transfers_this_slot_;
+            --budget;
+            slot_flags_[q] |= kFlagCkpt;
+            emit(EventKind::CheckpointStart, q, logical, replica);
+        }
+    }
+
+    /// Records `progress` slots (on worker q's scale) as the logical task's
+    /// committed checkpoint when it beats the stored fraction.
+    void commit_checkpoint(ProcId q, int logical, int progress) {
+        if (progress > 0) {
+            workers_[q].ckpt_committed = progress;
+            TaskCheckpoint& c = ckpt_store_[static_cast<std::size_t>(logical)];
+            // Fraction comparison progress/w_q >= done/w, cross-multiplied.
+            if (static_cast<long long>(progress) * c.w >=
+                static_cast<long long>(c.done) * pf_.w[q]) {
+                c.done = progress;
+                c.w = pf_.w[q];
+            }
+        }
+        ++metrics_.checkpoints_committed;
+        emit(EventKind::CheckpointCommit, q, logical);
+    }
+
+    /// Restart credit for `logical` on a worker of speed `wq`: the stored
+    /// fraction translated to that worker's scale.  Always < wq, because a
+    /// snapshot is only taken while compute remains (done < w).
+    [[nodiscard]] int ckpt_credit(int logical, int wq) const {
+        const TaskCheckpoint& c =
+            ckpt_store_[static_cast<std::size_t>(logical)];
+        if (c.done <= 0) return 0;
+        return static_cast<int>(static_cast<long long>(c.done) * wq / c.w);
     }
 
     /// Phase 2b: start data transfers for committed instances that were
@@ -625,7 +766,11 @@ private:
         for (int q = 0; q < pf_.size(); ++q) {
             Worker& w = workers_[q];
             if (w.state != ProcState::Up || w.computing == -1) continue;
+            // Computation pauses while the worker's snapshot uploads — the
+            // classic checkpoint overhead the policies must amortize.
+            if (w.ckpt_in_flight) continue;
             --w.compute_remaining;
+            ++w.since_ckpt;
             ++metrics_.compute_slots;
             ++metrics_.per_proc[q].compute_slots;
             slot_flags_[q] |= kFlagCompute;
@@ -646,8 +791,10 @@ private:
                 const bool compute = f & kFlagCompute;
                 const bool data = f & kFlagData;
                 const bool prog = f & kFlagProg;
+                const bool ckpt = f & kFlagCkpt;
                 if (compute && data) code = 'B';
                 else if (compute) code = 'C';
+                else if (ckpt) code = 'K';
                 else if (data) code = 'D';
                 else if (prog) code = 'P';
             }
@@ -675,6 +822,17 @@ private:
                          inst.kind == InstKind::Replica);
                 }
             }
+            if (w.ckpt_in_flight && w.ckpt_remaining == 0) {
+                // The upload finished: the snapshot becomes durable at the
+                // master and computation resumes next slot.  ckpt_in_flight
+                // implies computing != -1 (release_instance cancels the
+                // upload when the subject goes away).
+                w.ckpt_in_flight = false;
+                w.ckpt_start = -1;
+                commit_checkpoint(q, instances_[w.computing].logical,
+                                  w.ckpt_progress);
+                w.ckpt_progress = 0;
+            }
         }
         // Task completions (may cancel siblings staged on other workers).
         for (int q = 0; q < pf_.size(); ++q) {
@@ -692,6 +850,26 @@ private:
             w.staged = -1;
             w.data_start = -1;
             w.compute_remaining = pf_.w[q];
+            w.since_ckpt = 0;
+            w.compute_credit = 0;
+            w.ckpt_committed = 0;
+            if (config_.checkpoint && inst.kind == InstKind::Original) {
+                // Restart-from-checkpoint: a committed snapshot of this
+                // logical task credits the new incarnation with the work it
+                // preserves (translated to this worker's speed).  Originals
+                // only — a snapshot exists to shorten the post-crash redo,
+                // not to give speculative replicas a head start.
+                const int credit = ckpt_credit(inst.logical, pf_.w[q]);
+                if (credit > 0) {
+                    w.compute_remaining -= credit;
+                    w.compute_credit = credit;
+                    w.ckpt_committed = credit;
+                    metrics_.saved_compute_slots += credit;
+                    ++metrics_.recoveries;
+                    emit(EventKind::Recovery, q, inst.logical,
+                         /*replica=*/false);
+                }
+            }
             emit(EventKind::ComputeStart, q, instances_[w.computing].logical,
                  instances_[w.computing].kind == InstKind::Replica);
         }
@@ -711,6 +889,9 @@ private:
         inst.status = InstStatus::Done;
         w.computing = -1;
         w.compute_remaining = 0;
+        w.since_ckpt = 0;
+        w.compute_credit = 0;
+        w.ckpt_committed = 0;
         logical_done_[inst.logical] = true;
         --logical_live_[inst.logical];
         --remaining_logical_;
@@ -740,6 +921,7 @@ private:
     static constexpr std::uint8_t kFlagProg = 1;
     static constexpr std::uint8_t kFlagData = 2;
     static constexpr std::uint8_t kFlagCompute = 4;
+    static constexpr std::uint8_t kFlagCkpt = 8;
 
     void record_recv(ProcId q, int value) {
         if (config_.actions) config_.actions->set_recv(q, value);
@@ -764,13 +946,15 @@ private:
     }
 
     /// Delay(q) of Section 6.3.1: remaining program + committed data +
-    /// committed compute, assuming the worker stays UP, contention-free.
+    /// committed compute (plus an in-flight checkpoint upload, which blocks
+    /// the compute pipeline), assuming the worker stays UP, contention-free.
     [[nodiscard]] int delay_of(ProcId q) const {
         const Worker& w = workers_[q];
         int d = 0;
         if (!w.has_program)
             d += w.prog_in_flight ? w.prog_remaining : pf_.t_prog;
         if (w.computing != -1) d += w.compute_remaining;
+        if (w.ckpt_in_flight) d += w.ckpt_remaining;
         if (w.staged != -1)
             d += instances_[w.staged].data_remaining + pf_.w[q];
         return d;
@@ -836,7 +1020,38 @@ private:
                     throw std::logic_error("audit: compute counter out of range");
                 if (w.computing == w.staged)
                     throw std::logic_error("audit: instance both staged and computing");
+                if (w.compute_credit < 0 || w.compute_credit >= pf_.w[q])
+                    throw std::logic_error(
+                        "audit: checkpoint credit out of range");
+                if (w.ckpt_committed < w.compute_credit ||
+                    w.ckpt_committed > pf_.w[q] - w.compute_remaining)
+                    throw std::logic_error(
+                        "audit: committed-snapshot coverage out of range");
             }
+            if (w.ckpt_in_flight) {
+                if (!config_.checkpoint)
+                    throw std::logic_error(
+                        "audit: checkpoint in flight without a policy");
+                if (w.computing == -1)
+                    throw std::logic_error(
+                        "audit: checkpoint in flight without a computed task");
+                if (w.ckpt_remaining < 0 ||
+                    w.ckpt_remaining > config_.checkpoint_cost)
+                    throw std::logic_error(
+                        "audit: checkpoint counter out of range");
+                if (w.ckpt_progress <= 0 || w.ckpt_progress >= pf_.w[q])
+                    throw std::logic_error(
+                        "audit: checkpoint snapshot out of range");
+            }
+        }
+        for (int lt = 0; lt < config_.tasks_per_iteration; ++lt) {
+            const TaskCheckpoint& c =
+                ckpt_store_[static_cast<std::size_t>(lt)];
+            // A committed fraction is always in (0, 1): snapshots are only
+            // taken while compute remains.
+            if (c.done < 0 || c.w < 1 || (c.done > 0 && c.done >= c.w))
+                throw std::logic_error(
+                    "audit: committed checkpoint fraction out of range");
         }
     }
 
@@ -851,6 +1066,7 @@ private:
     std::vector<Worker> workers_;
     int up_count_ = 0;
     std::vector<Instance> instances_;
+    std::vector<TaskCheckpoint> ckpt_store_; ///< per logical task, per iter
     std::vector<bool> logical_done_;
     std::vector<int> logical_live_; ///< live (pool+committed) copies per task
     int remaining_logical_ = 0;
@@ -902,6 +1118,8 @@ Simulation::Simulation(
             "Simulation: iterations and tasks per iteration must be positive");
     if (config_.replica_cap < 0)
         throw std::invalid_argument("Simulation: negative replica cap");
+    if (config_.checkpoint_cost < 0)
+        throw std::invalid_argument("Simulation: negative checkpoint cost");
 }
 
 Simulation Simulation::from_chains(Platform platform,

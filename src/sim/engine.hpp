@@ -9,10 +9,12 @@
 ///     and partial computation (originals return to the master's pool,
 ///     replicas are cancelled).
 ///  2. The master allocates its `ncom` transfer slots: in-flight transfers
-///     to UP workers first (FIFO by start time), then data transfers that
-///     were committed but waited for the program, then — if assignable work
-///     remains and bandwidth is free — a fresh assignment round with the
-///     scheduling heuristic, committing new program/data transfers in
+///     to/from UP workers first (program and data downloads plus checkpoint
+///     uploads, FIFO by start time), then data transfers that were
+///     committed but waited for the program, then new checkpoint uploads
+///     the attached policy requests (ckpt/policy.hpp), then — if assignable
+///     work remains and bandwidth is free — a fresh assignment round with
+///     the scheduling heuristic, committing new program/data transfers in
 ///     heuristic preference order.
 ///  3. UP workers holding a data-complete task advance its computation.
 ///  4. End of slot: transfer/compute completions are materialized, staged
@@ -43,6 +45,10 @@
 
 namespace volsched::api {
 class SimulationBuilder; // defined in api/simulation_builder.hpp
+}
+
+namespace volsched::ckpt {
+class CheckpointPolicy; // defined in ckpt/policy.hpp
 }
 
 namespace volsched::sim {
@@ -89,6 +95,18 @@ struct EngineConfig {
     /// cross-checked slot by slot against the realized trace).  Used by the
     /// test suite.
     bool audit = false;
+    /// Optional checkpoint/restart policy (not owned; null means "none",
+    /// the paper's crash-lose-everything model).  When set, workers may
+    /// upload progress snapshots to the master (ckpt/policy.hpp): uploads
+    /// compete with program/data transfers for the `ncom` bandwidth slots,
+    /// computation pauses while a worker's snapshot is in flight, and a
+    /// crashed task's next incarnation resumes from the last committed
+    /// snapshot.  With the `none` policy (or null) action traces are
+    /// bit-identical to an engine without the checkpoint layer.
+    const ckpt::CheckpointPolicy* checkpoint = nullptr;
+    /// Master transfer slot-units one checkpoint upload costs (>= 0; zero
+    /// commits instantly, like a zero-cost data transfer).
+    int checkpoint_cost = 1;
     /// Optional structured event log (not owned; may be null).
     EventLog* events = nullptr;
     /// Optional per-slot activity recorder (not owned; may be null).
@@ -169,6 +187,10 @@ private:
     std::vector<markov::MarkovChain> beliefs_;
     EngineConfig config_;
     std::uint64_t seed_;
+    /// Keeps a builder-resolved checkpoint policy alive for the lifetime of
+    /// the simulation (config_.checkpoint points at it); null when the
+    /// policy was attached as a raw pointer or not at all.
+    std::shared_ptr<const ckpt::CheckpointPolicy> checkpoint_policy_;
     /// Realization cache; pre-seeded by SimulationBuilder::realized().
     mutable std::shared_ptr<markov::RealizedTraces> traces_;
     /// False: re-realize on every run (the pre-trace-layer cost model);

@@ -19,6 +19,10 @@ const char* event_kind_name(EventKind kind) noexcept {
         case EventKind::ReplicaCancelled: return "replica_cancelled";
         case EventKind::ProactiveCancel: return "proactive_cancel";
         case EventKind::IterationComplete: return "iteration_complete";
+        case EventKind::CheckpointStart: return "ckpt_start";
+        case EventKind::CheckpointCommit: return "ckpt_commit";
+        case EventKind::CheckpointLost: return "ckpt_lost";
+        case EventKind::Recovery: return "recovery";
     }
     return "?";
 }

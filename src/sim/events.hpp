@@ -29,7 +29,11 @@ enum class EventKind : std::uint8_t {
     ReplicaCommitted, ///< an extra replica was staged on a worker
     ReplicaCancelled, ///< a live sibling was cancelled after completion
     ProactiveCancel,  ///< the proactive policy un-enrolled a worker
-    IterationComplete ///< all m tasks of the iteration finished
+    IterationComplete,///< all m tasks of the iteration finished
+    CheckpointStart,  ///< a checkpoint upload began
+    CheckpointCommit, ///< a checkpoint snapshot became durable at the master
+    CheckpointLost,   ///< an in-flight checkpoint upload was wiped
+    Recovery          ///< a task incarnation resumed from a checkpoint
 };
 
 /// Short stable identifier used in CSV output.

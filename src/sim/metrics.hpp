@@ -27,8 +27,27 @@ struct RunMetrics {
     long long wasted_transfer_slots = 0;
     /// Compute slot-units performed by workers.
     long long compute_slots = 0;
-    /// Compute slot-units lost to crashes and replica cancellations.
+    /// Compute slot-units lost to crashes and replica cancellations: the
+    /// work each released incarnation computed itself (restart credit
+    /// excluded), net of the progress it committed to the master via
+    /// checkpoints with a live future incarnation to serve.  Without a
+    /// checkpoint policy this is exactly the historical all-progress-lost
+    /// accounting.
     long long wasted_compute_slots = 0;
+
+    /// Master transfer slot-units consumed by checkpoint uploads (counted
+    /// separately from `transfer_slots`; both compete for the same `ncom`
+    /// bandwidth).  Zero when no checkpoint policy is attached.
+    long long checkpoint_slots = 0;
+    /// Checkpoint snapshots fully uploaded and committed at the master.
+    long long checkpoints_committed = 0;
+    /// Original task incarnations that resumed from a committed checkpoint
+    /// instead of starting from scratch (replicas never take credit).
+    long long recoveries = 0;
+    /// Compute slot-units a restart did not have to redo thanks to a
+    /// committed checkpoint (accounted when the restarted instance is
+    /// promoted to computing, in the restarting worker's w_q scale).
+    long long saved_compute_slots = 0;
 
     /// Number of UP/RECLAIMED -> DOWN transitions observed.
     long long down_events = 0;

@@ -1,0 +1,58 @@
+#include "sim/metrics_io.hpp"
+
+namespace volsched::sim {
+
+namespace {
+
+void field(std::string& out, const char* key, long long value, bool first = false) {
+    if (!first) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+}
+
+} // namespace
+
+std::string metrics_to_json(const RunMetrics& m) {
+    std::string out = "{";
+    field(out, "makespan", m.makespan, /*first=*/true);
+    out += ",\"completed\":";
+    out += m.completed ? "true" : "false";
+    field(out, "iterations_completed", m.iterations_completed);
+    field(out, "tasks_completed", m.tasks_completed);
+    field(out, "replicas_committed", m.replicas_committed);
+    field(out, "replica_wins", m.replica_wins);
+    field(out, "transfer_slots", m.transfer_slots);
+    field(out, "wasted_transfer_slots", m.wasted_transfer_slots);
+    field(out, "compute_slots", m.compute_slots);
+    field(out, "wasted_compute_slots", m.wasted_compute_slots);
+    field(out, "checkpoint_slots", m.checkpoint_slots);
+    field(out, "checkpoints_committed", m.checkpoints_committed);
+    field(out, "recoveries", m.recoveries);
+    field(out, "saved_compute_slots", m.saved_compute_slots);
+    field(out, "down_events", m.down_events);
+    field(out, "dead_slots_skipped", m.dead_slots_skipped);
+    field(out, "proactive_cancellations", m.proactive_cancellations);
+    out += ",\"iteration_ends\":[";
+    for (std::size_t i = 0; i < m.iteration_ends.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(m.iteration_ends[i]);
+    }
+    out += "],\"per_proc\":[";
+    for (std::size_t q = 0; q < m.per_proc.size(); ++q) {
+        const RunMetrics::PerProc& p = m.per_proc[q];
+        if (q) out += ',';
+        out += '{';
+        field(out, "tasks_completed", p.tasks_completed, /*first=*/true);
+        field(out, "compute_slots", p.compute_slots);
+        field(out, "transfer_slots", p.transfer_slots);
+        field(out, "up_slots", p.up_slots);
+        field(out, "down_events", p.down_events);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace volsched::sim

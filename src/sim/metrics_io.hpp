@@ -1,0 +1,18 @@
+#pragma once
+/// \file metrics_io.hpp
+/// Canonical JSON serialization of RunMetrics (util/json conventions:
+/// stable field order, shortest round-trip numbers) so scripts can consume
+/// single runs — `volsched_sim --metrics-json` — without going through the
+/// campaign machinery.
+
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace volsched::sim {
+
+/// One self-contained JSON object holding every RunMetrics field, the
+/// per-processor accounting included.  No trailing newline.
+std::string metrics_to_json(const RunMetrics& m);
+
+} // namespace volsched::sim

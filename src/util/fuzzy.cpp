@@ -1,0 +1,53 @@
+#include "util/fuzzy.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace volsched::util {
+
+namespace {
+
+std::string lowercase(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+} // namespace
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string closest_name(std::string_view name,
+                         const std::vector<std::string>& candidates) {
+    const std::string needle = lowercase(name);
+    std::string best;
+    std::size_t best_dist = 0;
+    for (const auto& candidate : candidates) {
+        const std::size_t d = edit_distance(needle, lowercase(candidate));
+        if (best.empty() || d < best_dist ||
+            (d == best_dist && candidate < best)) {
+            best = candidate;
+            best_dist = d;
+        }
+    }
+    const std::size_t cutoff = std::max<std::size_t>(2, needle.size() / 3);
+    if (best.empty() || best_dist > cutoff) return {};
+    return best;
+}
+
+} // namespace volsched::util

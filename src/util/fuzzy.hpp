@@ -1,0 +1,24 @@
+#pragma once
+/// \file fuzzy.hpp
+/// Fuzzy name matching shared by the self-registering registries: classic
+/// Levenshtein edit distance plus the "did you mean ...?" candidate search
+/// both the scheduler registry and the checkpoint-policy registry use for
+/// their unknown-name diagnostics.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace volsched::util {
+
+/// Classic Levenshtein distance, O(|a|*|b|) time, O(|b|) space.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` by case-insensitive edit distance, or ""
+/// when nothing is plausibly a typo of the input (the cutoff allows one
+/// edit per three characters, but always at least two).  Ties break toward
+/// the lexicographically smaller candidate.
+std::string closest_name(std::string_view name,
+                         const std::vector<std::string>& candidates);
+
+} // namespace volsched::util

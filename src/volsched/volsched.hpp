@@ -3,6 +3,7 @@
 /// Umbrella header of the volsched public API.  One include gives you:
 ///
 ///  - the scheduler registry + spec grammar  (api/registry.hpp, api/spec.hpp)
+///  - checkpoint/restart policies + registry (ckpt/)
 ///  - the fluent Simulation builder          (api/simulation_builder.hpp)
 ///  - the fluent Experiment builder          (api/experiment_builder.hpp)
 ///  - sharded, resumable campaigns + sinks   (api/campaign_builder.hpp,
@@ -33,10 +34,15 @@
 
 #include "core/factory.hpp"
 
+#include "ckpt/policies.hpp"
+#include "ckpt/policy.hpp"
+#include "ckpt/registry.hpp"
+
 #include "sim/action_trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/events.hpp"
 #include "sim/metrics.hpp"
+#include "sim/metrics_io.hpp"
 #include "sim/platform.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timeline.hpp"
@@ -71,6 +77,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

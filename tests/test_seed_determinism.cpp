@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "api/simulation_builder.hpp"
 #include "core/factory.hpp"
 #include "exp/runner.hpp"
@@ -14,6 +16,8 @@
 #include "sim/action_trace.hpp"
 #include "sim/engine.hpp"
 #include "support/fixtures.hpp"
+#include "trace/semi_markov.hpp"
+#include "trace/sojourn.hpp"
 
 namespace vs = volsched::sim;
 namespace vc = volsched::core;
@@ -173,6 +177,86 @@ TEST(SeedDeterminism, SlotSkippingLeavesActionTracesUnchanged) {
     EXPECT_GT(skipped_total, 0)
         << "scenario never exercised the dead-stretch fast-forward; "
            "volatility too low for the test to be meaningful";
+}
+
+TEST(SeedDeterminism, SemiMarkovSlotSkippingLeavesActionTracesUnchanged) {
+    // The Markov variant above pins skip on/off equality for memoryless
+    // chains; heavy-tailed semi-Markov sojourns are the case the RLE
+    // fast-forward was built for (multi-hundred-slot absences), and their
+    // non-geometric run lengths exercise next_change_at differently — so
+    // the equality is pinned for a SemiMarkovAvailability fleet too.
+    using volsched::trace::SemiMarkovAvailability;
+    using volsched::trace::SemiMarkovParams;
+    using volsched::trace::SojournDist;
+    constexpr int kProcs = 3;
+    const auto pf =
+        vs::Platform::homogeneous(kProcs, /*w_all=*/6, /*ncom=*/2,
+                                  /*t_prog=*/4, /*t_data=*/1);
+    SemiMarkovParams params;
+    params.sojourn = {SojournDist::weibull_with_mean(0.7, 10.0),
+                      SojournDist::weibull_with_mean(0.9, 25.0),
+                      SojournDist::weibull_with_mean(0.8, 120.0)};
+    params.jump[0] = {0.0, 0.4, 0.6};
+    params.jump[1] = {0.5, 0.0, 0.5};
+    params.jump[2] = {0.9, 0.1, 0.0};
+    const std::vector<volsched::markov::MarkovChain> beliefs(
+        kProcs, volsched::markov::MarkovChain(
+                    SemiMarkovAvailability(params)
+                        .equivalent_markov_matrix()));
+
+    long long skipped_total = 0;
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        vs::ActionTrace traces[2];
+        vs::RunMetrics metrics[2];
+        for (int skip = 0; skip < 2; ++skip) {
+            std::vector<
+                std::unique_ptr<volsched::markov::AvailabilityModel>>
+                models;
+            for (int q = 0; q < kProcs; ++q)
+                models.push_back(
+                    std::make_unique<SemiMarkovAvailability>(params));
+            vs::EngineConfig cfg = vt::audited_config(2, 4);
+            auto sim = vs::Simulation::builder()
+                           .platform(pf)
+                           .models(std::move(models))
+                           .beliefs(beliefs)
+                           .config(cfg)
+                           .actions(&traces[skip])
+                           .skip_dead_slots(skip == 1)
+                           .seed(23)
+                           .build();
+            const auto sched = vc::make_scheduler(name);
+            metrics[skip] = sim.run(*sched);
+        }
+        EXPECT_EQ(metrics[0].dead_slots_skipped, 0) << name;
+        EXPECT_EQ(metrics[0].makespan, metrics[1].makespan) << name;
+        EXPECT_EQ(metrics[0].completed, metrics[1].completed) << name;
+        EXPECT_EQ(metrics[0].tasks_completed, metrics[1].tasks_completed)
+            << name;
+        EXPECT_EQ(metrics[0].down_events, metrics[1].down_events) << name;
+        EXPECT_EQ(metrics[0].transfer_slots, metrics[1].transfer_slots)
+            << name;
+        EXPECT_EQ(metrics[0].compute_slots, metrics[1].compute_slots)
+            << name;
+        EXPECT_EQ(metrics[0].iteration_ends, metrics[1].iteration_ends)
+            << name;
+        ASSERT_EQ(metrics[0].per_proc.size(), metrics[1].per_proc.size())
+            << name;
+        for (std::size_t q = 0; q < metrics[0].per_proc.size(); ++q) {
+            EXPECT_EQ(metrics[0].per_proc[q].up_slots,
+                      metrics[1].per_proc[q].up_slots)
+                << name << " proc " << q;
+            EXPECT_EQ(metrics[0].per_proc[q].down_events,
+                      metrics[1].per_proc[q].down_events)
+                << name << " proc " << q;
+        }
+        EXPECT_TRUE(same_trace(traces[0], traces[1]))
+            << name << ": semi-Markov slot-skipping changed the action trace";
+        skipped_total += metrics[1].dead_slots_skipped;
+    }
+    EXPECT_GT(skipped_total, 0)
+        << "fleet never exercised the dead-stretch fast-forward; absences "
+           "too short for the test to be meaningful";
 }
 
 TEST(SeedDeterminism, HeuristicsShareTheAvailabilityRealization) {

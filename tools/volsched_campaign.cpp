@@ -71,6 +71,13 @@ void print_tables(const exp::SweepResult& result, bool breakdown) {
         benchtool::print_dfb_table("by ncom = " + std::to_string(ncom),
                                    result.heuristics, table,
                                    /*show_wins=*/false);
+    // A single-key map is the classic checkpoint-free grid; a breakdown
+    // line per policy only makes sense when the axis was swept.
+    if (result.by_checkpoint.size() > 1)
+        for (const auto& [ckpt, table] : result.by_checkpoint)
+            benchtool::print_dfb_table("by checkpoint = " + ckpt,
+                                       result.heuristics, table,
+                                       /*show_wins=*/false);
 }
 
 int cmd_run(int argc, char** argv) {
@@ -90,9 +97,17 @@ int cmd_run(int argc, char** argv) {
     cli.add_int("replicas", 2, "extra replica cap per task");
     cli.add_double("tdata", 1.0, "Tdata = tdata * wmin");
     cli.add_double("tprog", 5.0, "Tprog = tprog * wmin");
+    cli.add_string("checkpoints", "none",
+                   "comma-separated checkpoint-policy axis, e.g. "
+                   "'none,daly,periodic20'");
+    cli.add_int("checkpoint-cost", 1,
+                "master transfer slots per checkpoint upload");
     cli.add_int("seed", 0xC0FFEE, "master seed");
     cli.add_int("threads", 0, "worker threads (0: hardware)");
-    cli.add_int("checkpoint", 8, "jobs per durable checkpoint");
+    // "checkpoint-every" (the durable-manifest cadence, matching
+    // CampaignBuilder::checkpoint_every) is deliberately distinct from the
+    // --checkpoints/--checkpoint-cost recovery-policy flags above.
+    cli.add_int("checkpoint-every", 8, "jobs per durable manifest checkpoint");
     cli.add_int("batches", 0, "stop after this many checkpoints (0: all)");
     cli.add_flag("csv", "also stream records.csv");
     cli.add_flag("fresh", "discard previous output instead of resuming");
@@ -136,6 +151,21 @@ int cmd_run(int argc, char** argv) {
         .seed(static_cast<std::uint64_t>(cli.get_int("seed")))
         .threads(static_cast<std::size_t>(cli.get_int("threads")));
 
+    const auto ckpt_specs = util::split_list(cli.get_string("checkpoints"));
+    if (ckpt_specs.empty()) {
+        std::fprintf(stderr,
+                     "run: --checkpoints names no policy specs\n");
+        return 2;
+    }
+    try {
+        experiment
+            .checkpoints(ckpt_specs)
+            .checkpoint_cost(static_cast<int>(cli.get_int("checkpoint-cost")));
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
     if (cli.get_flag("smoke")) {
         experiment.heuristics({"mct", "emct"})
             .tasks({3})
@@ -161,7 +191,7 @@ int cmd_run(int argc, char** argv) {
                                                   ? 2
                                                   : static_cast<int>(
                                                         cli.get_int(
-                                                            "checkpoint")))
+                                                            "checkpoint-every")))
                             .csv(cli.get_flag("csv"))
                             .stop_after_batches(
                                 static_cast<int>(cli.get_int("batches")));

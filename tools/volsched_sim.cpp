@@ -39,7 +39,20 @@ int list_heuristics() {
     return 0;
 }
 
-void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration) {
+int list_checkpoints() {
+    const auto entries = ckpt::CheckpointRegistry::instance().entries();
+    util::TextTable table({"name", "description"});
+    for (const auto& entry : entries)
+        table.add_row({entry.name, entry.description});
+    std::printf("%s", table.render("registered checkpoint policies").c_str());
+    std::puts("\nspec grammar: name[(key=value,...)], e.g. periodic20 or "
+              "risk(percent=25); policies do not nest.\n"
+              "model and formulas: src/ckpt/policy.hpp and API.md");
+    return 0;
+}
+
+void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration,
+                   bool checkpointing) {
     std::printf("completed        %s\n", m.completed ? "yes" : "NO");
     std::printf("makespan         %lld slots (%d iterations x %d tasks)\n",
                 m.makespan, m.iterations_completed, tasks_per_iteration);
@@ -51,6 +64,11 @@ void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration) {
                 m.wasted_transfer_slots);
     std::printf("compute slots    %lld  (wasted %lld)\n", m.compute_slots,
                 m.wasted_compute_slots);
+    if (checkpointing)
+        std::printf("checkpoints      %lld committed (%lld transfer slots, "
+                    "%lld recoveries, %lld compute slots saved)\n",
+                    m.checkpoints_committed, m.checkpoint_slots,
+                    m.recoveries, m.saved_compute_slots);
     if (m.dead_slots_skipped > 0)
         std::printf("dead slots       %lld fast-forwarded (all workers "
                     "absent)\n",
@@ -67,6 +85,15 @@ int main(int argc, char** argv) {
                    "comma-separated specs: compare them on one realization");
     cli.add_flag("list-heuristics",
                  "print the registered heuristics and exit");
+    cli.add_string("checkpoint", "none",
+                   "checkpoint policy spec (--list-checkpoints prints all)");
+    cli.add_int("checkpoint-cost", 1,
+                "master transfer slots per checkpoint upload");
+    cli.add_flag("list-checkpoints",
+                 "print the registered checkpoint policies and exit");
+    cli.add_string("metrics-json", "",
+                   "write the full RunMetrics as JSON to this path ('-' for "
+                   "stdout); comparison mode writes one object per spec");
     cli.add_string("model", "markov", "availability: markov|weibull|lognormal");
     cli.add_string("class", "dynamic", "scheduler class: dynamic|passive|proactive");
     cli.add_int("procs", 20, "number of processors");
@@ -85,6 +112,7 @@ int main(int argc, char** argv) {
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
     if (cli.get_flag("list-heuristics")) return list_heuristics();
+    if (cli.get_flag("list-checkpoints")) return list_checkpoints();
 
     const std::string& spec_list = cli.get_string("heuristics");
     std::vector<std::string> specs = util::split_list(spec_list);
@@ -160,6 +188,18 @@ int main(int argc, char** argv) {
         .tasks_per_iteration(static_cast<int>(cli.get_int("tasks")))
         .replica_cap(static_cast<int>(cli.get_int("replicas")))
         .skip_dead_slots(!cli.get_flag("no-skip"));
+    const std::string& ckpt_spec = cli.get_string("checkpoint");
+    const bool checkpointing = ckpt_spec != "none";
+    if (checkpointing) {
+        try {
+            builder.checkpoint(ckpt_spec)
+                .checkpoint_cost(
+                    static_cast<int>(cli.get_int("checkpoint-cost")));
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
     const auto& cls = cli.get_string("class");
     if (cls == "passive") builder.plan_class(sim::SchedulerClass::Passive);
     else if (cls == "proactive")
@@ -182,17 +222,39 @@ int main(int argc, char** argv) {
 
     const auto simulation = builder.build();
 
+    const std::string& metrics_json = cli.get_string("metrics-json");
+    const auto emit_json = [&metrics_json](const std::string& text) {
+        if (metrics_json == "-") {
+            std::printf("%s\n", text.c_str());
+            return true;
+        }
+        std::ofstream out(metrics_json);
+        out << text << '\n';
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         metrics_json.c_str());
+            return false;
+        }
+        std::printf("wrote metrics JSON to %s\n", metrics_json.c_str());
+        return true;
+    };
+
     if (single) {
         const auto sched = registry.make(specs.front());
         const auto m = simulation.run(*sched);
-        std::printf("heuristic        %s (%s class, %s availability)\n",
+        std::printf("heuristic        %s (%s class, %s availability"
+                    "%s%s)\n",
                     std::string(sched->name()).c_str(), cls.c_str(),
-                    model.c_str());
-        print_metrics(m, simulation.config().tasks_per_iteration);
+                    model.c_str(), checkpointing ? ", checkpoint " : "",
+                    checkpointing ? ckpt_spec.c_str() : "");
+        print_metrics(m, simulation.config().tasks_per_iteration,
+                      checkpointing);
         if (want_timeline) {
             const long long window = cli.get_int("timeline-window");
             std::printf("\nactivity chart (first %lld slots; P prog, D data, "
-                        "C compute, B both, r reclaimed, d down):\n%s",
+                        "C compute, B both, K checkpoint, r reclaimed, "
+                        "d down):\n%s",
                         window, timeline.render(0, window).c_str());
         }
         if (want_events) {
@@ -201,6 +263,8 @@ int main(int argc, char** argv) {
             std::printf("\nwrote %zu events to %s\n", events.size(),
                         cli.get_string("events").c_str());
         }
+        if (!metrics_json.empty() && !emit_json(sim::metrics_to_json(m)))
+            return 1;
         return m.completed ? 0 : 1;
     }
 
@@ -210,6 +274,7 @@ int main(int argc, char** argv) {
                            "replica wins", "wasted comm", "wasted compute"});
     for (std::size_t c = 1; c < 7; ++c) table.align_right(c);
     bool all_completed = true;
+    std::string json_rows = "[";
     for (const auto& spec : specs) {
         const auto sched = registry.make(spec);
         const auto m = simulation.run(*sched);
@@ -221,11 +286,21 @@ int main(int argc, char** argv) {
                        std::to_string(m.replica_wins),
                        std::to_string(m.wasted_transfer_slots),
                        std::to_string(m.wasted_compute_slots)});
+        if (!metrics_json.empty()) {
+            if (json_rows.size() > 1) json_rows += ',';
+            json_rows += "\n  {\"heuristic\":\"" + util::json::escape(spec) +
+                         "\",\"metrics\":" + sim::metrics_to_json(m) + "}";
+        }
     }
     std::printf("%s", table.render(std::to_string(specs.size()) +
                                    " heuristics, one availability "
                                    "realization (" + model + ", " + cls +
-                                   " class)")
+                                   " class" +
+                                   (checkpointing
+                                        ? ", checkpoint " + ckpt_spec
+                                        : "") +
+                                   ")")
                           .c_str());
+    if (!metrics_json.empty() && !emit_json(json_rows + "\n]")) return 1;
     return all_completed ? 0 : 1;
 }
