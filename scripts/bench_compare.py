@@ -15,7 +15,10 @@ runners are noisy shared machines, so the default exit code stays 0; pass
 --strict to turn regressions into a nonzero exit.
 
 Benchmarks present on only one side are listed informationally and never
-fail the comparison (new benchmarks appear, old ones get renamed).
+fail the comparison (new benchmarks appear, old ones get renamed).  A
+baseline entry whose slots_per_sec is zero or missing is likewise reported
+as incomparable (treated like a new benchmark) instead of being silently
+skipped.
 """
 
 import argparse
@@ -64,10 +67,18 @@ def main():
           f"threshold {args.threshold:.0f}%")
 
     regressions = []
+    incomparable = []
     for name in sorted(set(base) & set(new)):
         old_rate = base[name].get("slots_per_sec", 0.0)
         new_rate = new[name].get("slots_per_sec", 0.0)
         if old_rate <= 0:
+            # A zero or missing baseline rate carries no information: the
+            # benchmark existed but never produced a usable measurement
+            # (crashed runner, truncated JSON).  Say so instead of silently
+            # pretending the benchmark was compared.
+            incomparable.append(name)
+            print(f"  {name:40s} baseline rate missing/zero -> "
+                  f"{new_rate:14.0f} (incomparable, treated as new)")
             continue
         delta = 100.0 * (new_rate - old_rate) / old_rate
         marker = ""
@@ -77,10 +88,15 @@ def main():
         print(f"  {name:40s} {old_rate:14.0f} -> {new_rate:14.0f} "
               f"({delta:+6.1f}%){marker}")
 
+    only_new = sorted(set(new) - set(base))
     for name in sorted(set(base) - set(new)):
         print(f"  {name:40s} only in baseline")
-    for name in sorted(set(new) - set(base)):
+    for name in only_new:
         print(f"  {name:40s} only in new run (no baseline yet)")
+    if incomparable or only_new:
+        print(f"bench_compare: {len(only_new)} new benchmark(s), "
+              f"{len(incomparable)} with unusable baseline — none of these "
+              "count toward regressions")
 
     if regressions:
         print(f"\n::warning::bench_compare: {len(regressions)} benchmark(s) "

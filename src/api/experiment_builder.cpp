@@ -150,6 +150,11 @@ ExperimentBuilder& ExperimentBuilder::skip_dead_slots(bool on) {
     return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::event_driven(bool on) {
+    config_.run.event_driven = on;
+    return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::audit(bool on) {
     config_.run.audit = on;
     return *this;

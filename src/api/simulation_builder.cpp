@@ -221,6 +221,11 @@ SimulationBuilder& SimulationBuilder::skip_dead_slots(bool on) {
     return *this;
 }
 
+SimulationBuilder& SimulationBuilder::event_driven(bool on) {
+    config_.event_driven = on;
+    return *this;
+}
+
 sim::Simulation SimulationBuilder::build() {
     if (built_)
         fail("build() called twice; a builder is single-use (the first "

@@ -155,6 +155,11 @@ public:
     /// skip_dead_slots); sugar over config() for A/B comparisons.
     SimulationBuilder& skip_dead_slots(bool on = true);
 
+    /// Selects the stepping core (EngineConfig::event_driven, default on):
+    /// `false` runs the reference slot loop.  Results are bit-identical
+    /// either way; sugar over config() for A/B comparisons.
+    SimulationBuilder& event_driven(bool on = true);
+
     /// Validates and builds.  The result bit-matches the raw
     /// sim::Simulation constructor fed the same platform, models, beliefs,
     /// config and seed.

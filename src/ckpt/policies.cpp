@@ -54,6 +54,9 @@ public:
     bool should_checkpoint(const CheckpointView&) const override {
         return false;
     }
+    long long quiet_horizon(const CheckpointView&) const override {
+        return kQuietForever;
+    }
     std::string_view name() const override { return "none"; }
 };
 
@@ -63,6 +66,11 @@ public:
     explicit PeriodicPolicy(int k) : k_(k) {}
     bool should_checkpoint(const CheckpointView& v) const override {
         return v.computed >= k_;
+    }
+    long long quiet_horizon(const CheckpointView& v) const override {
+        // Fires exactly when `computed` reaches k_, and `computed` grows by
+        // one per advanced slot.
+        return v.computed >= k_ ? 0 : static_cast<long long>(k_) - v.computed;
     }
     std::string_view name() const override { return "periodic"; }
 
@@ -81,6 +89,16 @@ public:
         const int tau = daly_interval(v.belief->matrix(), v.cost);
         return tau > 0 && v.computed >= tau;
     }
+    long long quiet_horizon(const CheckpointView& v) const override {
+        // The interval is a function of (belief, cost) only, both fixed
+        // under arithmetic advancement, so this reduces to the periodic
+        // case; tau == 0 (infinite MTTD) never fires.
+        if (v.belief == nullptr) return kQuietForever;
+        const int tau = daly_interval(v.belief->matrix(), v.cost);
+        if (tau <= 0) return kQuietForever;
+        return v.computed >= tau ? 0
+                                 : static_cast<long long>(tau) - v.computed;
+    }
     std::string_view name() const override { return "daly"; }
 };
 
@@ -92,6 +110,14 @@ public:
     bool should_checkpoint(const CheckpointView& v) const override {
         if (v.belief == nullptr) return false;
         return crash_risk(v.belief->matrix(), v.remaining) > threshold_;
+    }
+    long long quiet_horizon(const CheckpointView& v) const override {
+        // crash_risk is non-decreasing in `remaining` (p_ud_exact is
+        // non-increasing in the slot count), and advancement only shrinks
+        // `remaining`: a view that does not fire now never fires later in
+        // the same uninterrupted stretch.
+        if (v.belief == nullptr) return kQuietForever;
+        return should_checkpoint(v) ? 0 : kQuietForever;
     }
     std::string_view name() const override { return "risk"; }
 

@@ -41,6 +41,7 @@
 ///                   boundary (markov::p_ud_exact over the remaining slots)
 ///                   exceeds P percent
 
+#include <limits>
 #include <string_view>
 
 #include "markov/chain.hpp"
@@ -75,6 +76,25 @@ public:
     /// True when the worker should start uploading a snapshot this slot.
     [[nodiscard]] virtual bool
     should_checkpoint(const CheckpointView& view) const = 0;
+
+    /// Sentinel quiet_horizon() meaning "never fires under this view's
+    /// arithmetic advancement".
+    static constexpr long long kQuietForever =
+        std::numeric_limits<long long>::max();
+
+    /// Lower bound on how long this policy stays quiet: the engine's
+    /// event-driven core asks for an h >= 0 such that should_checkpoint is
+    /// guaranteed false for every view reachable from `view` by k < h
+    /// uninterrupted compute slots (computed += k, remaining -= k,
+    /// slot += k; belief/cost/w fixed).  h == 0 means "consult me every
+    /// slot" — always safe, and the default, so stateful-looking custom
+    /// policies cost elision, never correctness.  Audit mode re-checks the
+    /// promise by replaying should_checkpoint over every elided slot.
+    [[nodiscard]] virtual long long
+    quiet_horizon(const CheckpointView& view) const {
+        (void)view;
+        return 0;
+    }
 
     /// Stable identifier used in reports ("none", "periodic", "daly", ...).
     [[nodiscard]] virtual std::string_view name() const = 0;

@@ -71,6 +71,36 @@ struct ActiveTransfer {
     TransferKind kind;
 };
 
+/// What forces the event-driven core to simulate a slot normally.
+enum class EventCause : std::uint8_t {
+    Horizon,     ///< EngineConfig::max_slots
+    StateChange, ///< an availability RLE segment ends
+    Transfer,    ///< an advancing program/data/checkpoint transfer drains
+    Checkpoint,  ///< a checkpoint policy's quiet horizon expires
+    Compute,     ///< a computing worker's task reaches completion
+};
+
+/// The event-driven core's frontier of (slot, event) candidates.
+/// Conceptually a priority queue ordered by slot; since any simulated slot
+/// can invalidate every queued prediction (a crash reshuffles the transfer
+/// queue, a heuristic round commits new work), entries are re-derived at
+/// each decision point and only the minimum is ever popped — so the queue
+/// keeps just the running minimum instead of a heap.
+struct EventQueue {
+    long long slot;
+    EventCause cause;
+
+    explicit EventQueue(long long horizon) noexcept
+        : slot(horizon), cause(EventCause::Horizon) {}
+
+    void push(long long s, EventCause c) noexcept {
+        if (s < slot) {
+            slot = s;
+            cause = c;
+        }
+    }
+};
+
 class Runner {
 public:
     Runner(const Platform& platform, markov::RealizedTraces& traces,
@@ -94,10 +124,35 @@ public:
         slot_flags_.assign(static_cast<std::size_t>(pf_.size()), 0);
         long long t = 0;
         while (t < config_.max_slots) {
-            // Dead-stretch fast-forward: with every worker DOWN or
-            // RECLAIMED nothing can transfer, compute, or complete, so the
-            // slot loop is a no-op until some processor changes state.
-            if (config_.skip_dead_slots && t > 0 && up_count_ == 0) {
+            // A realization that starts with every worker absent: do slot
+            // 0's bookkeeping in closed form and skip the whole stretch
+            // (both cores; historically the `t > 0` guard below made the
+            // engine walk slot 0 of such a stretch).
+            if (t == 0 && (config_.event_driven || config_.skip_dead_slots) &&
+                try_skip_initial_dead(t))
+                continue;
+            if (config_.event_driven) {
+                // Event-driven core: jump to the next candidate event and
+                // advance the provably-inert slots in between
+                // arithmetically.  Stretches shorter than kMinJump are not
+                // worth a fast_forward's setup (except dead ones, whose
+                // skip count must match the slot loop's) — they run through
+                // the normal phases below, and known_inert_until_ remembers
+                // the horizon so the prediction is not recomputed per slot.
+                if (t > 0 && t >= known_inert_until_) {
+                    const long long ev = steady_horizon(t);
+                    if (ev - t >= kMinJump || (ev > t && up_count_ == 0)) {
+                        fast_forward(t, ev);
+                        t = ev;
+                        continue;
+                    }
+                    known_inert_until_ = ev;
+                }
+            } else if (config_.skip_dead_slots && t > 0 && up_count_ == 0) {
+                // Dead-stretch fast-forward: with every worker DOWN or
+                // RECLAIMED nothing can transfer, compute, or complete, so
+                // the slot loop is a no-op until some processor changes
+                // state.
                 long long change = config_.max_slots;
                 for (int q = 0; q < pf_.size(); ++q)
                     change =
@@ -225,6 +280,410 @@ private:
         metrics_.dead_slots_skipped += to - from;
     }
 
+    /// Slot-0 companion to the dead-stretch fast-forward: when the
+    /// realization starts with every worker DOWN or RECLAIMED, slot 0's
+    /// only observable work is the initial StateChange emission and the
+    /// DOWN accounting (nothing is committed yet, so handle_down has
+    /// nothing to release).  Perform exactly that bookkeeping, then skip
+    /// the stretch like any other dead range.  Returns false when some
+    /// worker starts UP (the normal loop then runs slot 0).
+    bool try_skip_initial_dead(long long& t) {
+        for (int q = 0; q < pf_.size(); ++q)
+            if (cursors_[q].state_at(0) == ProcState::Up) return false;
+        long long change = config_.max_slots;
+        for (int q = 0; q < pf_.size(); ++q)
+            change = std::min(change, cursors_[q].next_change_at(0, change));
+        slot_ = 0;
+        up_count_ = 0;
+        for (int q = 0; q < pf_.size(); ++q) {
+            const ProcState st = cursors_[q].state_at(0);
+            workers_[q].state = st;
+            emit(EventKind::StateChange, q, -1, false, st);
+            if (st == ProcState::Down) {
+                ++metrics_.down_events;
+                ++metrics_.per_proc[q].down_events;
+                handle_down(q);
+            }
+        }
+        skip_dead_range(0, change);
+        if (config_.event_driven) metrics_.slots_elided += change;
+        t = change;
+        return true;
+    }
+
+    // ---- event-driven core ---------------------------------------------
+
+    /// Returns the first slot >= t that must be simulated normally.  Every
+    /// slot in [t, result) is provably inert: worker states are constant
+    /// (the RLE cursors bound the next availability transition), the same
+    /// transfers advance without draining, no data transfer can start, no
+    /// checkpoint policy fires, no computation completes, and the
+    /// plan/commit phase would not act (a heuristic round may consume RNG,
+    /// so any slot that reaches one is simulated).  Conservative by
+    /// construction — any doubt returns t.  On a result the run loop will
+    /// jump (>= t + kMinJump, or > t with no worker present), `active_`
+    /// holds the stretch's transfer allocation for fast_forward().
+    long long steady_horizon(long long t) {
+        // Bandwidth allocation for the stretch: a cheap unsorted count
+        // first — the advancing set only matters once the slot is known to
+        // be inert, and the leftover budget feeds the act-now checks.
+        // min_rem over ALL active transfers lower-bounds the remainder of
+        // any advancing subset, so it bounds the first possible drain
+        // without knowing the FIFO order.
+        int in_flight = 0;
+        int min_rem = std::numeric_limits<int>::max();
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up) continue;
+            if (w.prog_in_flight && w.prog_remaining > 0) {
+                ++in_flight;
+                min_rem = std::min(min_rem, w.prog_remaining);
+            }
+            if (w.staged != -1) {
+                const Instance& inst = instances_[w.staged];
+                if (inst.data_started && inst.data_remaining > 0) {
+                    ++in_flight;
+                    min_rem = std::min(min_rem, inst.data_remaining);
+                }
+            }
+            if (w.ckpt_in_flight && w.ckpt_remaining > 0) {
+                ++in_flight;
+                min_rem = std::min(min_rem, w.ckpt_remaining);
+            }
+        }
+        const int advancing = std::min(pf_.ncom, in_flight);
+        const int budget = pf_.ncom - advancing;
+
+        // Scheduler decision point this slot?  Checked first: in dense
+        // phases this is the common exit, and it needs no sorting.
+        if (plan_would_act(budget)) return t;
+
+        // A deferred data start (phase 2b) acts as soon as bandwidth is
+        // free — or instantly when data is free.
+        if (budget > 0 || pf_.t_data == 0) {
+            for (int q = 0; q < pf_.size(); ++q) {
+                const Worker& w = workers_[q];
+                if (w.state != ProcState::Up || !w.has_program ||
+                    w.staged == -1)
+                    continue;
+                const Instance& inst = instances_[w.staged];
+                if (!inst.data_started && !inst.data_done) return t;
+            }
+        }
+
+        EventQueue next(config_.max_slots);
+
+        // Availability transitions: worker states at t must equal the
+        // states held since slot t-1, and the stretch ends where the first
+        // RLE segment does.
+        for (int q = 0; q < pf_.size(); ++q) {
+            const long long change =
+                cursors_[q].next_change_at(t - 1, next.slot);
+            if (change <= t) return t;
+            next.push(change, EventCause::StateChange);
+        }
+
+        // Transfer completions: each advancing transfer drains to zero —
+        // and must be simulated — in slot t + remaining - 1.  min_rem is a
+        // lower bound over any advancing subset, so the pushed slot is at
+        // or before the true first drain (a conservative, still-inert cap).
+        if (advancing > 0) {
+            if (min_rem <= 1) return t;
+            next.push(t + min_rem - 1, EventCause::Transfer);
+        }
+
+        // Checkpoint decisions (phase 2b'): with no bandwidth and a
+        // nonzero cost the phase returns before any side effect; otherwise
+        // every eligible worker is consulted every slot, so ask the policy
+        // how long it is guaranteed to stay quiet under arithmetic
+        // advancement.
+        if (config_.checkpoint &&
+            (config_.checkpoint_cost == 0 || budget > 0)) {
+            for (int q = 0; q < pf_.size(); ++q) {
+                const Worker& w = workers_[q];
+                if (w.state != ProcState::Up || w.computing == -1 ||
+                    w.ckpt_in_flight)
+                    continue;
+                // A worker with since_ckpt == 0 is first consulted one
+                // slot later (after one slot of the stretch has computed).
+                const int lead = w.since_ckpt > 0 ? 0 : 1;
+                ckpt::CheckpointView view;
+                view.belief = beliefs_ ? &(*beliefs_)[q] : nullptr;
+                view.cost = config_.checkpoint_cost;
+                view.w = pf_.w[q];
+                view.computed = w.since_ckpt + lead;
+                view.remaining = w.compute_remaining - lead;
+                view.slot = t + lead;
+                if (view.remaining <= 0) continue; // completion comes first
+                const long long quiet =
+                    config_.checkpoint->quiet_horizon(view);
+                // quiet may be kQuietForever: compare without adding lead.
+                if (quiet <= -static_cast<long long>(lead)) return t;
+                if (quiet < config_.max_slots - t - lead)
+                    next.push(t + lead + quiet, EventCause::Checkpoint);
+            }
+        }
+
+        // Compute completions: an advancing computation drains to zero —
+        // and completes — in slot t + remaining - 1.
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.computing == -1 ||
+                w.ckpt_in_flight)
+                continue;
+            if (w.compute_remaining <= 1) return t;
+            next.push(t + w.compute_remaining - 1, EventCause::Compute);
+        }
+
+        // Only a stretch the run loop will actually fast_forward needs the
+        // sorted transfer allocation; the no-jump path skips the sort.
+        if (next.slot - t >= kMinJump || up_count_ == 0) build_active();
+        return next.slot;
+    }
+
+    /// Mirrors plan_and_commit's control flow without side effects: true
+    /// when the phase would mutate state, consult the scheduler, or consume
+    /// heuristic RNG this slot, given `budget` bandwidth units left over
+    /// from the earlier phases.  Every input read here is constant across a
+    /// steady stretch, so a false answer holds for the whole stretch.
+    [[nodiscard]] bool plan_would_act(int budget) {
+        if (proactive_would_act()) return true;
+        if (budget == 0 && pf_.t_data > 0) return false;
+        // With no worker present nothing plans, commits, or replicates
+        // (may_replicate needs up_count_ > remaining_logical_ >= 0 and the
+        // commit sweep needs an UP target), so the phase is inert.
+        if (up_count_ == 0) return false;
+        const bool may_replicate =
+            config_.replica_cap > 0 && up_count_ > remaining_logical_;
+        // A heuristic round runs: begin_round plus RNG-consuming selects.
+        if (may_replicate) return true;
+        if (config_.plan_class != SchedulerClass::Passive) {
+            // Non-passive classes re-plan every round: any pool instance
+            // means a round runs.  Early exit — this is the dense-phase
+            // common path and instances_ can be long.
+            for (const auto& inst : instances_)
+                if (inst.status == InstStatus::Pool) return true;
+            return false;
+        }
+        bool any_pool = false;
+        bool any_unplanned = false;
+        for (const auto& inst : instances_) {
+            if (inst.status != InstStatus::Pool) continue;
+            any_pool = true;
+            if (inst.planned == kNoProc) any_unplanned = true;
+        }
+        if (!any_pool) return false;
+        if (any_unplanned) return true;
+        // Passive with every pool instance planned: only the commit sweep
+        // remains.  It acts exactly when some planned target is UP with a
+        // free buffer and the bandwidth/zero-cost rules let a transfer (or
+        // a stage-behind-program) start.
+        if (budget == 0 && pf_.t_data > 0 && pf_.t_prog > 0) return false;
+        for (const auto& inst : instances_) {
+            if (inst.status != InstStatus::Pool || inst.planned == kNoProc)
+                continue;
+            const Worker& w = workers_[inst.planned];
+            if (w.state != ProcState::Up || w.staged != -1) continue;
+            if (w.has_program) {
+                if (pf_.t_data == 0 || budget > 0) return true;
+            } else if (w.prog_in_flight) {
+                return true; // stages behind the in-flight program, free
+            } else if (pf_.t_prog == 0) {
+                // Enrolment is free; the earlier guards ensure the data
+                // path can start too (budget > 0 or t_data == 0).
+                return true;
+            } else if (budget > 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// True when proactive_reassess would un-enrol a worker this slot — or
+    /// when its decision inputs could drift across an otherwise-steady
+    /// stretch (an idle UP worker's in-flight program download drains,
+    /// shrinking the best idle alternative slot by slot).
+    [[nodiscard]] bool proactive_would_act() const {
+        if (config_.plan_class != SchedulerClass::Proactive || !beliefs_)
+            return false;
+        double best_alt = std::numeric_limits<double>::infinity();
+        bool drifting = false;
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.staged != -1 ||
+                w.computing != -1)
+                continue;
+            if (!w.has_program && w.prog_in_flight) drifting = true;
+            const double need =
+                (w.has_program
+                     ? 0.0
+                     : static_cast<double>(w.prog_in_flight ? w.prog_remaining
+                                                            : pf_.t_prog)) +
+                pf_.t_data + pf_.w[q];
+            best_alt = std::min(
+                best_alt, markov::e_workload((*beliefs_)[q].matrix(), need));
+        }
+        if (std::isinf(best_alt)) return false;
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Reclaimed) continue;
+            if (w.staged == -1 && w.computing == -1) continue;
+            if (drifting) return true; // conservatively simulate the slot
+            const auto& m = (*beliefs_)[q].matrix();
+            const double p_rr = m.p_rr();
+            if (p_rr >= 1.0) continue;
+            const double expected_return = 1.0 / (1.0 - p_rr);
+            int remaining = 0;
+            if (w.computing != -1) remaining += w.compute_remaining;
+            if (w.staged != -1)
+                remaining += instances_[w.staged].data_remaining + pf_.w[q];
+            if (best_alt < expected_return + markov::e_workload(m, remaining))
+                return true;
+        }
+        return false;
+    }
+
+    /// Advances the steady stretch [from, to) arithmetically: states are
+    /// frozen, the first min(ncom, |active_|) transfers and every
+    /// unobstructed computation drain one unit per slot, and the recorders
+    /// receive the identical per-slot output the slot loop would have
+    /// produced.  Preconditions: steady_horizon(from) >= to, and `active_`
+    /// is the list it built.
+    void fast_forward(long long from, long long to) {
+        const long long n = to - from;
+        if (config_.audit) audit_steady_range(from, to);
+        const int advancing =
+            std::min(pf_.ncom, static_cast<int>(active_.size()));
+        ff_recv_.assign(static_cast<std::size_t>(pf_.size()), kNoAction);
+        ff_compute_.assign(static_cast<std::size_t>(pf_.size()), kNoAction);
+        std::fill(slot_flags_.begin(), slot_flags_.end(),
+                  static_cast<std::uint8_t>(0));
+        for (int i = 0; i < advancing; ++i) {
+            const ActiveTransfer& tr = active_[i];
+            Worker& w = workers_[tr.proc];
+            if (tr.kind == TransferKind::Prog) {
+                w.prog_remaining -= static_cast<int>(n);
+                slot_flags_[tr.proc] |= kFlagProg;
+                ff_recv_[tr.proc] = -2;
+            } else if (tr.kind == TransferKind::Data) {
+                instances_[w.staged].data_remaining -= static_cast<int>(n);
+                slot_flags_[tr.proc] |= kFlagData;
+                ff_recv_[tr.proc] = instances_[w.staged].logical;
+            } else {
+                w.ckpt_remaining -= static_cast<int>(n);
+                slot_flags_[tr.proc] |= kFlagCkpt;
+                metrics_.checkpoint_slots += n;
+                continue;
+            }
+            metrics_.per_proc[tr.proc].transfer_slots += n;
+            metrics_.transfer_slots += n;
+        }
+        for (int q = 0; q < pf_.size(); ++q) {
+            Worker& w = workers_[q];
+            if (w.state != ProcState::Up) continue;
+            metrics_.per_proc[q].up_slots += n;
+            if (w.computing == -1 || w.ckpt_in_flight) continue;
+            w.compute_remaining -= static_cast<int>(n);
+            w.since_ckpt += static_cast<int>(n);
+            metrics_.compute_slots += n;
+            metrics_.per_proc[q].compute_slots += n;
+            slot_flags_[q] |= kFlagCompute;
+            ff_compute_[q] = instances_[w.computing].logical;
+        }
+        metrics_.slots_elided += n;
+        if (up_count_ == 0) metrics_.dead_slots_skipped += n;
+        if (config_.timeline) {
+            for (int q = 0; q < pf_.size(); ++q) {
+                char code = '.';
+                const ProcState st = workers_[q].state;
+                if (st == ProcState::Down) code = 'd';
+                else if (st == ProcState::Reclaimed) code = 'r';
+                else {
+                    const std::uint8_t f = slot_flags_[q];
+                    const bool compute = f & kFlagCompute;
+                    const bool data = f & kFlagData;
+                    const bool prog = f & kFlagProg;
+                    const bool ckpt = f & kFlagCkpt;
+                    if (compute && data) code = 'B';
+                    else if (compute) code = 'C';
+                    else if (ckpt) code = 'K';
+                    else if (data) code = 'D';
+                    else if (prog) code = 'P';
+                }
+                for (long long s = from; s < to; ++s)
+                    config_.timeline->record(q, code);
+            }
+        }
+        if (config_.actions) {
+            for (long long s = from; s < to; ++s) {
+                config_.actions->next_slot();
+                for (int q = 0; q < pf_.size(); ++q) {
+                    if (ff_recv_[q] != kNoAction)
+                        config_.actions->set_recv(q, ff_recv_[q]);
+                    if (ff_compute_[q] != kNoAction)
+                        config_.actions->set_compute(q, ff_compute_[q]);
+                }
+            }
+        }
+    }
+
+    /// Audit-mode re-verification of an elided range: replays the stretch's
+    /// premises slot by slot against the realized trace, the drain
+    /// arithmetic, and the checkpoint policy's actual should_checkpoint.
+    void audit_steady_range(long long from, long long to) {
+        const long long n = to - from;
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            for (long long s = from; s < to; ++s)
+                if (cursors_[q].state_at(s) != w.state)
+                    throw std::logic_error(
+                        "audit: event elision crossed a state change");
+        }
+        const int advancing =
+            std::min(pf_.ncom, static_cast<int>(active_.size()));
+        for (int i = 0; i < advancing; ++i) {
+            const ActiveTransfer& tr = active_[i];
+            const Worker& w = workers_[tr.proc];
+            const int rem = tr.kind == TransferKind::Prog ? w.prog_remaining
+                            : tr.kind == TransferKind::Data
+                                ? instances_[w.staged].data_remaining
+                                : w.ckpt_remaining;
+            if (rem <= n)
+                throw std::logic_error(
+                    "audit: event elision crossed a transfer completion");
+        }
+        const int budget = pf_.ncom - advancing;
+        const bool consults = config_.checkpoint &&
+                              (config_.checkpoint_cost == 0 || budget > 0);
+        for (int q = 0; q < pf_.size(); ++q) {
+            const Worker& w = workers_[q];
+            if (w.state != ProcState::Up || w.computing == -1 ||
+                w.ckpt_in_flight)
+                continue;
+            if (w.compute_remaining <= n)
+                throw std::logic_error(
+                    "audit: event elision crossed a compute completion");
+            if (!consults) continue;
+            for (long long k = 0; k < n; ++k) {
+                const int computed = w.since_ckpt + static_cast<int>(k);
+                const int remaining =
+                    w.compute_remaining - static_cast<int>(k);
+                if (computed <= 0 || remaining <= 0) continue;
+                ckpt::CheckpointView view;
+                view.belief = beliefs_ ? &(*beliefs_)[q] : nullptr;
+                view.cost = config_.checkpoint_cost;
+                view.w = pf_.w[q];
+                view.computed = computed;
+                view.remaining = remaining;
+                view.slot = from + k;
+                if (config_.checkpoint->should_checkpoint(view))
+                    throw std::logic_error(
+                        "audit: event elision crossed a checkpoint "
+                        "decision");
+            }
+        }
+    }
+
     /// DOWN semantics (Section 3.2): lose the program, staged data, and
     /// partial computation.  Original instances go back to the pool (to be
     /// resent from scratch); replicas are simply cancelled.
@@ -320,7 +779,12 @@ private:
     /// start.  Checkpoint uploads ride the same queue as program and data
     /// downloads: every slot-unit of bandwidth comes out of the one `ncom`
     /// budget regardless of direction.
-    void advance_in_flight(int& budget) {
+    /// Rebuilds `active_`: the slot's in-flight transfers to/from UP
+    /// workers in bandwidth-allocation order (FIFO by start, then proc,
+    /// then kind).  The first min(ncom, size) entries are the ones that
+    /// advance this slot — and, since the order is a pure function of state
+    /// that only simulated slots change, every slot of a steady stretch.
+    void build_active() {
         active_.clear();
         for (int q = 0; q < pf_.size(); ++q) {
             const Worker& w = workers_[q];
@@ -341,6 +805,10 @@ private:
                       if (a.proc != b.proc) return a.proc < b.proc;
                       return a.kind < b.kind;
                   });
+    }
+
+    void advance_in_flight(int& budget) {
+        build_active();
         for (const auto& tr : active_) {
             if (budget == 0) break;
             Worker& w = workers_[tr.proc];
@@ -923,6 +1391,19 @@ private:
     static constexpr std::uint8_t kFlagCompute = 4;
     static constexpr std::uint8_t kFlagCkpt = 8;
 
+    /// "No recorded action" sentinel for the fast-forward back-fill (-2 is
+    /// the action trace's program marker, >= 0 a logical task).
+    static constexpr int kNoAction = -3;
+
+    /// Shortest inert stretch worth a fast_forward (below it, the closed-
+    /// form setup costs more than stepping the slots; dead stretches are
+    /// exempt so the skip count matches the slot loop's).
+    static constexpr long long kMinJump = 4;
+    /// Slots in [t, known_inert_until_) are known inert from an earlier
+    /// steady_horizon call that fell under kMinJump; they step through the
+    /// normal phases without re-running the prediction.
+    long long known_inert_until_ = 0;
+
     void record_recv(ProcId q, int value) {
         if (config_.actions) config_.actions->set_recv(q, value);
     }
@@ -1090,6 +1571,8 @@ private:
     std::vector<std::pair<int, ProcId>> replica_plan_;
     std::vector<int> planned_logical_;
     std::vector<int> plan_order_;
+    std::vector<int> ff_recv_;    ///< fast-forward: constant recv per proc
+    std::vector<int> ff_compute_; ///< fast-forward: constant compute per proc
 };
 
 } // namespace

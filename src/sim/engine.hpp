@@ -26,9 +26,21 @@
 /// same availability realization — the property the paper's per-instance
 /// "degradation from best" metric relies on.  The realization is sampled
 /// once into a run-length-encoded markov::RealizedTraces snapshot (a pure
-/// function of the seed) that every run() replays; the RLE structure also
-/// lets the engine fast-forward dead stretches where no worker is UP and
-/// no state change occurs (EngineConfig::skip_dead_slots).
+/// function of the seed) that every run() replays.
+///
+/// The engine has two stepping cores over this identical slot semantics:
+///
+///  - The slot loop (EngineConfig::event_driven == false) walks every slot
+///    of the horizon, optionally fast-forwarding dead stretches where no
+///    worker is UP (EngineConfig::skip_dead_slots).
+///  - The event-driven core (the default) keeps a frontier of (slot, event)
+///    candidates — availability transitions read from the RLE segments via
+///    markov::TraceCursor::next_change_at, transfer/compute/checkpoint
+///    completions computed in closed form from the current counters, and
+///    scheduler decision points — and advances every provably-inert slot in
+///    between arithmetically (RunMetrics::slots_elided counts them).
+///    Action traces, timelines, events, and RunMetrics are bit-identical
+///    to the slot loop; audit mode re-verifies every elided range.
 
 #include <memory>
 #include <vector>
@@ -90,10 +102,20 @@ struct EngineConfig {
     /// traces are back-filled so recorded output is bit-identical with the
     /// flag on or off.
     bool skip_dead_slots = true;
+    /// When true (default), the engine runs its event-driven core: between
+    /// consecutive candidate events (availability transitions from the RLE
+    /// trace, transfer/compute/checkpoint completions in closed form,
+    /// scheduler decision points) slots are advanced arithmetically instead
+    /// of simulated one by one (RunMetrics::slots_elided counts them).
+    /// Output is bit-identical to the slot loop by construction; the knob
+    /// exists to run the reference slot loop for validation and benchmarks.
+    /// The event core subsumes `skip_dead_slots` (dead stretches are just
+    /// one kind of inert range) and ignores that flag.
+    bool event_driven = true;
     /// When true, the engine cross-checks model invariants every slot and
-    /// throws std::logic_error on violation (skipped dead ranges are
-    /// cross-checked slot by slot against the realized trace).  Used by the
-    /// test suite.
+    /// throws std::logic_error on violation (skipped dead ranges and
+    /// event-elided ranges are cross-checked slot by slot against the
+    /// realized trace and the checkpoint policy).  Used by the test suite.
     bool audit = false;
     /// Optional checkpoint/restart policy (not owned; null means "none",
     /// the paper's crash-lose-everything model).  When set, workers may

@@ -52,10 +52,17 @@ struct RunMetrics {
     /// Number of UP/RECLAIMED -> DOWN transitions observed.
     long long down_events = 0;
 
-    /// Slots elided by the dead-stretch fast-forward (EngineConfig::
-    /// skip_dead_slots): counted toward the makespan but never simulated
-    /// slot by slot.  Zero when skipping is disabled or never triggered.
+    /// Slots elided while no worker was UP (the dead-stretch fast-forward
+    /// of EngineConfig::skip_dead_slots, or the event-driven core eliding a
+    /// fully-absent stretch): counted toward the makespan but never
+    /// simulated slot by slot.  Zero when neither mechanism triggered.
     long long dead_slots_skipped = 0;
+
+    /// Slots elided by the event-driven core's closed-form advancement
+    /// (EngineConfig::event_driven), dead stretches included — so
+    /// slots_elided >= dead_slots_skipped in event-driven runs.  Zero under
+    /// the reference slot loop.
+    long long slots_elided = 0;
 
     /// Workers un-enrolled by the proactive policy (SchedulerClass::
     /// Proactive only; always zero for the paper's dynamic class).

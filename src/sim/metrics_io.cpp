@@ -33,6 +33,7 @@ std::string metrics_to_json(const RunMetrics& m) {
     field(out, "saved_compute_slots", m.saved_compute_slots);
     field(out, "down_events", m.down_events);
     field(out, "dead_slots_skipped", m.dead_slots_skipped);
+    field(out, "slots_elided", m.slots_elided);
     field(out, "proactive_cancellations", m.proactive_cancellations);
     out += ",\"iteration_ends\":[";
     for (std::size_t i = 0; i < m.iteration_ends.size(); ++i) {

@@ -141,6 +141,7 @@ TEST(SeedDeterminism, SlotSkippingLeavesActionTracesUnchanged) {
         vs::ActionTrace skip_trace, step_trace;
 
         vs::EngineConfig cfg = vt::audited_config(2, 4);
+        cfg.event_driven = false; // this test pins the slot loop's skip path
         cfg.skip_dead_slots = true;
         cfg.actions = &skip_trace;
         const auto skipping =
@@ -222,6 +223,7 @@ TEST(SeedDeterminism, SemiMarkovSlotSkippingLeavesActionTracesUnchanged) {
                            .beliefs(beliefs)
                            .config(cfg)
                            .actions(&traces[skip])
+                           .event_driven(false) // pins the slot loop's skip
                            .skip_dead_slots(skip == 1)
                            .seed(23)
                            .build();

@@ -109,6 +109,9 @@ int cmd_run(int argc, char** argv) {
     // --checkpoints/--checkpoint-cost recovery-policy flags above.
     cli.add_int("checkpoint-every", 8, "jobs per durable manifest checkpoint");
     cli.add_int("batches", 0, "stop after this many checkpoints (0: all)");
+    cli.add_flag("no-event-core",
+                 "step every slot through the reference loop instead of the "
+                 "event-driven core (results are identical either way)");
     cli.add_flag("csv", "also stream records.csv");
     cli.add_flag("fresh", "discard previous output instead of resuming");
     cli.add_flag("quiet", "no progress output");
@@ -149,7 +152,8 @@ int cmd_run(int argc, char** argv) {
         .tdata_factor(cli.get_double("tdata"))
         .tprog_factor(cli.get_double("tprog"))
         .seed(static_cast<std::uint64_t>(cli.get_int("seed")))
-        .threads(static_cast<std::size_t>(cli.get_int("threads")));
+        .threads(static_cast<std::size_t>(cli.get_int("threads")))
+        .event_driven(!cli.get_flag("no-event-core"));
 
     const auto ckpt_specs = util::split_list(cli.get_string("checkpoints"));
     if (ckpt_specs.empty()) {

@@ -73,6 +73,10 @@ void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration,
         std::printf("dead slots       %lld fast-forwarded (all workers "
                     "absent)\n",
                     m.dead_slots_skipped);
+    if (m.slots_elided > 0)
+        std::printf("slots elided     %lld advanced in closed form "
+                    "(event-driven core)\n",
+                    m.slots_elided);
 }
 
 } // namespace
@@ -106,6 +110,9 @@ int main(int argc, char** argv) {
     cli.add_int("mean-up", 120, "mean UP sojourn (semi-Markov models)");
     cli.add_flag("no-skip", "disable the engine's dead-stretch fast-forward "
                             "(results are identical either way)");
+    cli.add_flag("no-event-core",
+                 "step every slot through the reference loop instead of the "
+                 "event-driven core (results are identical either way)");
     cli.add_flag("timeline", "print the ASCII activity chart");
     cli.add_int("timeline-window", 120, "chart slots to display");
     cli.add_string("events", "", "write the event log to this CSV path");
@@ -187,7 +194,8 @@ int main(int argc, char** argv) {
     builder.iterations(static_cast<int>(cli.get_int("iterations")))
         .tasks_per_iteration(static_cast<int>(cli.get_int("tasks")))
         .replica_cap(static_cast<int>(cli.get_int("replicas")))
-        .skip_dead_slots(!cli.get_flag("no-skip"));
+        .skip_dead_slots(!cli.get_flag("no-skip"))
+        .event_driven(!cli.get_flag("no-event-core"));
     const std::string& ckpt_spec = cli.get_string("checkpoint");
     const bool checkpointing = ckpt_spec != "none";
     if (checkpointing) {
