@@ -154,6 +154,7 @@ std::string render_checks(const std::vector<ShapeCheck>& checks) {
         os << (c.passed ? "[PASS] " : "[FAIL] ") << c.description;
         if (c.lhs != 0.0 || c.rhs != 0.0) {
             char buf[64];
+            // volsched-lint: allow(R3): shape-check console diagnostic, not a record
             std::snprintf(buf, sizeof buf, "  (%.2f vs %.2f)", c.lhs, c.rhs);
             os << buf;
         }

@@ -27,6 +27,7 @@ std::string TransitionMatrix::validate(double tol) const {
         }
         if (std::fabs(sum - 1.0) > tol) {
             char buf[128];
+            // volsched-lint: allow(R3): validation error message, not a record
             std::snprintf(buf, sizeof buf, "row %d sums to %.12g, expected 1",
                           i, sum);
             return buf;
