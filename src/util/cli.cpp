@@ -1,7 +1,7 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,11 +33,33 @@ void Cli::add_int(const std::string& name, long long def,
     options_[name] = {Kind::Int, help, std::to_string(def), std::to_string(def)};
 }
 
+namespace {
+
+/// Shortest round-trip rendering, always '.'-decimal — std::to_chars is
+/// locale-independent where "%g" follows LC_NUMERIC.
+std::string render_double(double v) {
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    return ec == std::errc{} ? std::string(buf, end) : std::string("?");
+}
+
+/// Whole-token numeric parse.  std::from_chars never consults the locale
+/// and rejects leading whitespace/'+', so "1,5" or " 5" can't silently
+/// become a different experiment under a different LC_NUMERIC.
+template <typename T>
+bool parse_whole(const std::string& text, T& out) {
+    const char* first = text.c_str();
+    const char* last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last;
+}
+
+} // namespace
+
 void Cli::add_double(const std::string& name, double def,
                      const std::string& help) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%g", def);
-    options_[name] = {Kind::Double, help, buf, buf};
+    const std::string rendered = render_double(def);
+    options_[name] = {Kind::Double, help, rendered, rendered};
 }
 
 void Cli::add_string(const std::string& name, std::string def,
@@ -109,12 +131,15 @@ bool Cli::parse(int argc, const char* const* argv) {
         // silently prefix-parsing to a different experiment is worse than
         // an error.
         if (opt.kind != Kind::String) {
-            char* end = nullptr;
-            if (opt.kind == Kind::Int)
-                (void)std::strtoll(value.c_str(), &end, 10);
-            else
-                (void)std::strtod(value.c_str(), &end);
-            if (value.empty() || end != value.c_str() + value.size()) {
+            bool ok;
+            if (opt.kind == Kind::Int) {
+                long long parsed;
+                ok = parse_whole(value, parsed);
+            } else {
+                double parsed;
+                ok = parse_whole(value, parsed);
+            }
+            if (!ok) {
                 std::fprintf(stderr,
                              "%s: option --%s wants %s value, got '%s'\n",
                              program_.c_str(), name.c_str(),
@@ -131,11 +156,15 @@ bool Cli::parse(int argc, const char* const* argv) {
 }
 
 long long Cli::get_int(const std::string& name) const {
-    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+    long long out = 0;
+    parse_whole(find(name, Kind::Int).value, out);
+    return out;
 }
 
 double Cli::get_double(const std::string& name) const {
-    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+    double out = 0.0;
+    parse_whole(find(name, Kind::Double).value, out);
+    return out;
 }
 
 const std::string& Cli::get_string(const std::string& name) const {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
 
 #include "util/cli.hpp"
@@ -113,6 +114,62 @@ TEST(Cli, HelpStopsExecutionWithZero) {
     const char* argv[] = {"prog", "--help"};
     EXPECT_FALSE(cli.parse(2, argv));
     EXPECT_EQ(cli.exit_code(), 0);
+}
+
+// Regression for the R3/wall-clock lint finding: Cli used strtod/strtoll,
+// whose decimal point follows LC_NUMERIC — under a comma-decimal locale
+// "--ratio 1.5" would stop parsing at the '.' and be rejected as a
+// malformed token.  std::from_chars never consults the locale.
+TEST(Cli, NumericParsingIsLocaleIndependent) {
+    const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string saved_name = saved ? saved : "C";
+    const bool have_comma_locale =
+        std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+        std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr ||
+        std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+
+    vu::Cli cli("prog", "test");
+    cli.add_double("ratio", 0.5, "a ratio");
+    const char* argv[] = {"prog", "--ratio", "1.5"};
+    const bool ok = cli.parse(3, argv);
+    const double parsed = ok ? cli.get_double("ratio") : 0.0;
+    std::setlocale(LC_NUMERIC, saved_name.c_str());
+
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(parsed, 1.5);
+    if (!have_comma_locale)
+        GTEST_SKIP() << "no comma-decimal locale installed; exercised the "
+                        "default locale only";
+}
+
+// from_chars is also stricter than strtod: whole tokens only, no leading
+// whitespace or '+', and never a locale-dependent comma.
+TEST(Cli, RejectsNonCanonicalNumericTokens) {
+    for (const char* bad : {"1,5", " 5", "5 ", "+5", "", "1.5.0"}) {
+        vu::Cli cli("prog", "test");
+        cli.add_double("ratio", 0.5, "a ratio");
+        const char* argv[] = {"prog", "--ratio", bad};
+        EXPECT_FALSE(cli.parse(3, argv)) << "token '" << bad << "'";
+        EXPECT_EQ(cli.exit_code(), 2) << "token '" << bad << "'";
+    }
+    for (const char* good : {"-3", "2.5e-1", ".5"}) {
+        vu::Cli cli("prog", "test");
+        cli.add_double("ratio", 0.5, "a ratio");
+        const char* argv[] = {"prog", "--ratio", good};
+        EXPECT_TRUE(cli.parse(3, argv)) << "token '" << good << "'";
+    }
+}
+
+// Default values render via to_chars (shortest round-trip, '.'-decimal),
+// so help text is byte-stable across locales and platforms.
+TEST(Cli, DoubleDefaultRendersShortestRoundTrip) {
+    vu::Cli cli("prog", "test");
+    cli.add_double("ratio", 0.1, "a ratio");
+    cli.add_double("scale", 5.0, "a scale");
+    const std::string h = cli.help();
+    EXPECT_NE(h.find("default: 0.1"), std::string::npos) << h;
+    EXPECT_NE(h.find("default: 5"), std::string::npos) << h;
+    EXPECT_EQ(cli.get_double("ratio"), 0.1);
 }
 
 TEST(Cli, HelpTextMentionsOptions) {
