@@ -1,7 +1,6 @@
 #include "util/csv.hpp"
 
 #include <charconv>
-#include <cstdio>
 #include <stdexcept>
 
 namespace volsched::util {
@@ -44,9 +43,14 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::cell(double v) {
+    // std::to_chars with general/10 renders exactly like "%.10g" under the
+    // "C" locale but never consults LC_NUMERIC, so CSV records stay
+    // byte-identical even inside a host application that set a locale
+    // (pinned by test_golden_io).
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    return buf;
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v,
+                                         std::chars_format::general, 10);
+    return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
 }
 
 std::string CsvWriter::cell(std::size_t v) { return std::to_string(v); }

@@ -2,7 +2,6 @@
 
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
 
 namespace volsched::util::json {
@@ -29,9 +28,12 @@ std::string escape(std::string_view s) {
         case '\t': out += "\\t"; break;
         default:
             if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
+                // \u00XX by hand: keeps the canonical writers entirely
+                // printf-free (c < 0x20, so the high byte is always 00).
+                constexpr char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[c >> 4];
+                out += hex[c & 0xF];
             } else {
                 out += static_cast<char>(c);
             }

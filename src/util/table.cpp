@@ -1,7 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,9 +26,12 @@ void TextTable::align_right(std::size_t col) {
 }
 
 std::string TextTable::num(double v, int decimals) {
+    // Fixed-notation twin of CsvWriter::cell(double): to_chars instead of
+    // "%.*f" keeps table renders independent of LC_NUMERIC.
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
-    return buf;
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v,
+                                         std::chars_format::fixed, decimals);
+    return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
 }
 
 std::string TextTable::render(const std::string& title) const {
