@@ -55,7 +55,7 @@ bool SchedulerRegistry::erase(const std::string& name) {
 
 bool SchedulerRegistry::contains(const std::string& name) const {
     std::lock_guard lock(mutex_);
-    return entries_.count(name) > 0;
+    return entries_.contains(name);
 }
 
 std::vector<SchedulerInfo> SchedulerRegistry::entries() const {

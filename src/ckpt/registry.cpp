@@ -50,7 +50,7 @@ bool CheckpointRegistry::erase(const std::string& name) {
 
 bool CheckpointRegistry::contains(const std::string& name) const {
     std::lock_guard lock(mutex_);
-    return entries_.count(name) > 0;
+    return entries_.contains(name);
 }
 
 std::vector<CheckpointInfo> CheckpointRegistry::entries() const {
