@@ -3,11 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <map>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "exp/sweep.hpp"
+#include "util/rng.hpp"
+
 namespace vu = volsched::util;
+namespace ve = volsched::exp;
 
 TEST(ThreadPool, RunsAllSubmittedTasks) {
     vu::ThreadPool pool(4);
@@ -59,6 +66,134 @@ TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
     vu::ThreadPool pool(2);
     pool.wait_idle();
     SUCCEED();
+}
+
+namespace {
+
+/// Unevenly-sized busy work so task completion order is thoroughly shuffled
+/// relative to submission order: heavy and light tasks interleave and the
+/// queue drains out of index order on any pool with >1 worker.
+double busy_work(std::size_t i) {
+    vu::Rng rng(vu::mix_seed(0xB05Bu, i));
+    const std::size_t spins = 64 + 8 * (rng() % 512);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < spins; ++k)
+        acc += std::sqrt(static_cast<double>(i + k + 1));
+    return acc;
+}
+
+} // namespace
+
+/// The determinism contract the parallel-campaign work inherits: per-slot
+/// results land in per-index storage and are reduced *in index order*, so
+/// the floating-point sum is bit-identical to a serial run no matter how
+/// the pool interleaves completions.  Summing in completion order instead
+/// would reassociate the doubles and drift.
+TEST(ThreadPool, OrderedReductionBitMatchesSerialUnderConcurrency) {
+    constexpr std::size_t kTasks = 512;
+
+    // Serial reference, single thread of execution, index order.
+    std::vector<double> serial(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) serial[i] = busy_work(i);
+    double serial_sum = 0.0;
+    for (double v : serial) serial_sum += v;
+
+    for (std::size_t threads : {2u, 3u, 7u}) {
+        vu::ThreadPool pool(threads);
+        std::vector<double> partial(kTasks, 0.0);
+        std::vector<std::size_t> completion_order;
+        std::mutex order_mutex;
+        pool.parallel_for(kTasks, [&](std::size_t i) {
+            partial[i] = busy_work(i);
+            std::lock_guard lock(order_mutex);
+            completion_order.push_back(i);
+        });
+        ASSERT_EQ(completion_order.size(), kTasks);
+
+        // Ordered reduction: bit-identical, not just approximately equal.
+        double pool_sum = 0.0;
+        for (double v : partial) pool_sum += v;
+        EXPECT_EQ(pool_sum, serial_sum) << "threads=" << threads;
+        EXPECT_EQ(partial, serial) << "threads=" << threads;
+    }
+}
+
+/// Repeated waves through one pool: parallel_for barriers followed by loose
+/// submit()s must not lose tasks or deadlock (exercises the idle/active
+/// bookkeeping under contention; run under the tsan preset).
+TEST(ThreadPool, RepeatedWavesRetainEveryTask) {
+    vu::ThreadPool pool(4);
+    std::atomic<long long> total{0};
+    for (int wave = 0; wave < 20; ++wave) {
+        pool.parallel_for(50, [&](std::size_t) { ++total; });
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&total] { ++total; });
+        pool.wait_idle();
+    }
+    EXPECT_EQ(total.load(), 20 * (50 + 10));
+}
+
+namespace {
+
+/// Bit-identical table comparison: exact ==, not almost-equal (mirrors
+/// test_campaign's shard-merge contract).
+void expect_tables_identical(const ve::DfbTable& a, const ve::DfbTable& b) {
+    ASSERT_EQ(a.num_heuristics(), b.num_heuristics());
+    EXPECT_EQ(a.instances(), b.instances());
+    for (std::size_t h = 0; h < a.num_heuristics(); ++h) {
+        EXPECT_EQ(a.mean_dfb(h), b.mean_dfb(h));
+        EXPECT_EQ(a.dfb(h).variance(), b.dfb(h).variance());
+        EXPECT_EQ(a.dfb(h).min(), b.dfb(h).min());
+        EXPECT_EQ(a.dfb(h).max(), b.dfb(h).max());
+        EXPECT_EQ(a.makespan(h).mean(), b.makespan(h).mean());
+        EXPECT_EQ(a.wins(h), b.wins(h));
+    }
+}
+
+template <typename Key>
+void expect_maps_identical(const std::map<Key, ve::DfbTable>& ma,
+                           const std::map<Key, ve::DfbTable>& mb) {
+    ASSERT_EQ(ma.size(), mb.size());
+    for (const auto& [key, table] : ma) {
+        const auto it = mb.find(key);
+        ASSERT_NE(it, mb.end()) << "missing key " << key;
+        expect_tables_identical(table, it->second);
+    }
+}
+
+} // namespace
+
+/// run_sweep over the pool is the seam the in-process parallel-campaign
+/// work will widen: pin that thread count never leaks into results.  Every
+/// instance derives its RNG streams from (master_seed, seed_ordinal, trial)
+/// and per-job tables merge in job order, so 1, 2, and 5 threads must
+/// produce bit-identical SweepResults.
+TEST(ThreadPool, RunSweepBitIdenticalAcrossThreadCounts) {
+    ve::SweepConfig cfg;
+    cfg.tasks_values = {3, 4};
+    cfg.ncom_values = {2};
+    cfg.wmin_values = {1, 2};
+    cfg.scenarios_per_cell = 2;
+    cfg.trials_per_scenario = 2;
+    cfg.p = 4;
+    cfg.run.iterations = 2;
+    cfg.master_seed = 2026;
+    const std::vector<std::string> heuristics = {"mct", "emct"};
+
+    cfg.threads = 1;
+    const ve::SweepResult serial = ve::run_sweep(cfg, heuristics);
+    ASSERT_GT(serial.overall.instances(), 0);
+
+    for (std::size_t threads : {2u, 5u}) {
+        cfg.threads = threads;
+        const ve::SweepResult parallel = ve::run_sweep(cfg, heuristics);
+        EXPECT_EQ(parallel.heuristics, serial.heuristics);
+        expect_tables_identical(parallel.overall, serial.overall);
+        expect_maps_identical(parallel.by_wmin, serial.by_wmin);
+        expect_maps_identical(parallel.by_tasks, serial.by_tasks);
+        expect_maps_identical(parallel.by_ncom, serial.by_ncom);
+        expect_maps_identical(parallel.by_checkpoint, serial.by_checkpoint);
+    }
 }
 
 TEST(ThreadPool, LargeReductionIsCorrect) {
