@@ -22,10 +22,13 @@ skipped.
 """
 
 import argparse
+import contextlib
 import glob
+import io
 import json
 import os
 import sys
+import tempfile
 
 
 def load_results(path):
@@ -42,18 +45,7 @@ def newest_baseline(repo):
     return candidates[-1] if candidates else None
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="diff a bench JSON against the committed baseline")
-    parser.add_argument("new_json", help="freshly measured bench JSON")
-    parser.add_argument("--repo", default=".",
-                        help="repository root holding BENCH_*.json")
-    parser.add_argument("--threshold", type=float, default=20.0,
-                        help="regression threshold in percent (default 20)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit nonzero when a regression is found")
-    args = parser.parse_args()
-
+def run_compare(args):
     baseline_path = newest_baseline(args.repo)
     if baseline_path is None:
         print("bench_compare: no committed BENCH_*.json baseline; "
@@ -108,6 +100,104 @@ def main():
     else:
         print("no regressions beyond the threshold")
     return 0
+
+
+def self_test():
+    """Exercise the zero-rate-baseline, new-benchmark, regression, and
+    missing-baseline paths against synthesized fixtures — no committed
+    BENCH_*.json needed.  Mirrors what the CI lint job asserts."""
+    failures = []
+
+    def expect(cond, what):
+        print(("  ok  " if cond else "  FAIL") + f"  {what}")
+        if not cond:
+            failures.append(what)
+
+    def record(name, rate):
+        return {"name": name, "iterations": 1, "wall_seconds": 1.0,
+                "slots_per_sec": rate}
+
+    def doc(*results):
+        return {"volsched_bench": 1, "bench": "bench_engine",
+                "results": list(results)}
+
+    def compare(tmp, baseline, new, strict=False, threshold=20.0):
+        if baseline is not None:
+            with open(os.path.join(tmp, "BENCH_2000-01-01.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(baseline, f)
+        new_path = os.path.join(tmp, "new.json")
+        with open(new_path, "w", encoding="utf-8") as f:
+            json.dump(new, f)
+        args = argparse.Namespace(new_json=new_path, repo=tmp,
+                                  threshold=threshold, strict=strict)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = run_compare(args)
+        return rc, out.getvalue()
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_st.") as tmp:
+        rc, out = compare(
+            tmp,
+            baseline=doc(record("engine/zero-rate", 0.0),
+                         record("engine/renamed-away", 100.0)),
+            new=doc(record("engine/zero-rate", 123.0),
+                    record("engine/brand-new", 456.0)),
+            strict=True)
+        expect(rc == 0, "zero-rate/new-only baselines exit 0 under --strict")
+        expect("incomparable" in out, "zero-rate baseline called incomparable")
+        expect("only in new run" in out, "new-only benchmark reported")
+        expect("only in baseline" in out, "renamed-away benchmark reported")
+        expect("none of these count toward regressions" in out,
+               "incomparable summary line printed")
+        expect("no regressions beyond the threshold" in out,
+               "clean verdict printed")
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_st.") as tmp:
+        rc, out = compare(tmp,
+                          baseline=doc(record("engine/hot", 1000.0)),
+                          new=doc(record("engine/hot", 500.0)),
+                          strict=True)
+        expect(rc == 1, "50% regression exits 1 under --strict")
+        expect("REGRESSION" in out, "regression marked in the diff")
+        rc, _out = compare(tmp,
+                           baseline=doc(record("engine/hot", 1000.0)),
+                           new=doc(record("engine/hot", 500.0)),
+                           strict=False)
+        expect(rc == 0, "same regression exits 0 without --strict")
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_st.") as tmp:
+        rc, out = compare(tmp, baseline=None,
+                          new=doc(record("engine/hot", 1.0)), strict=True)
+        expect(rc == 0, "missing baseline exits 0")
+        expect("nothing to compare against" in out,
+               "missing baseline reported")
+
+    print(f"bench_compare --self-test: {'FAILED' if failures else 'passed'}")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a bench JSON against the committed baseline")
+    parser.add_argument("new_json", nargs="?",
+                        help="freshly measured bench JSON")
+    parser.add_argument("--repo", default=".",
+                        help="repository root holding BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when a regression is found")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise the zero/missing-baseline and "
+                             "regression paths against synthesized fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.new_json is None:
+        parser.error("new_json is required unless --self-test is given")
+    return run_compare(args)
 
 
 if __name__ == "__main__":
