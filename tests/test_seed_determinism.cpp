@@ -9,13 +9,18 @@
 
 #include <memory>
 
+#include <sstream>
+
 #include "api/simulation_builder.hpp"
 #include "core/factory.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "sim/action_trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics_io.hpp"
+#include "sim/timeline.hpp"
 #include "support/fixtures.hpp"
+#include "support/golden.hpp"
 #include "trace/semi_markov.hpp"
 #include "trace/sojourn.hpp"
 
@@ -49,6 +54,47 @@ bool same_trace(const vs::ActionTrace& a, const vs::ActionTrace& b) {
                 return false;
     }
     return true;
+}
+
+/// Run-length-encoded text form of an action trace: one line per processor,
+/// `<count>x<recv>/<compute>` tokens.  Verbatim per-slot content, compact
+/// enough to commit as a golden.
+std::string trace_to_text(const vs::ActionTrace& t) {
+    std::ostringstream os;
+    for (int q = 0; q < t.procs(); ++q) {
+        os << 'q' << q << ':';
+        const auto& row = t.row(q);
+        std::size_t i = 0;
+        while (i < row.size()) {
+            std::size_t j = i;
+            while (j < row.size() && row[j].recv == row[i].recv &&
+                   row[j].compute == row[i].compute)
+                ++j;
+            os << ' ' << (j - i) << 'x' << row[i].recv << '/'
+               << row[i].compute;
+            i = j;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+/// Run-length-encoded text form of a timeline (same information as
+/// Timeline::render, minus the ruler): one line per processor.
+std::string timeline_to_text(const vs::Timeline& t) {
+    std::ostringstream os;
+    for (int q = 0; q < t.procs(); ++q) {
+        os << 'q' << q << ':';
+        long long i = 0;
+        while (i < t.slots()) {
+            long long j = i;
+            while (j < t.slots() && t.at(q, j) == t.at(q, i)) ++j;
+            os << ' ' << (j - i) << t.at(q, i);
+            i = j;
+        }
+        os << '\n';
+    }
+    return os.str();
 }
 
 } // namespace
@@ -276,4 +322,53 @@ TEST(SeedDeterminism, HeuristicsShareTheAvailabilityRealization) {
     ASSERT_EQ(out1.makespans.size(), vc::greedy_heuristic_names().size());
     EXPECT_EQ(out1.makespans, out2.makespans)
         << "repeated run_instance with one trial seed changed makespans";
+}
+
+namespace {
+
+/// Shared body of the SoA-vs-seed golden pins below: runs every greedy
+/// heuristic over the same realized scenario and serializes the full
+/// RunMetrics JSON + exact action trace + timeline into one text blob that
+/// is compared against a golden generated from the pre-SoA engine
+/// (regenerate only with VOLSCHED_UPDATE_GOLDEN=1 and a known-good tree).
+std::string greedy_run_blob(bool event_core) {
+    const auto sc = vt::small_scenario(77);
+    const auto rs = ve::realize(sc);
+    std::string blob;
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        vs::ActionTrace trace;
+        vs::Timeline timeline;
+        vs::EngineConfig cfg = vt::audited_config(2, sc.tasks);
+        cfg.event_driven = event_core;
+        cfg.actions = &trace;
+        cfg.timeline = &timeline;
+        const auto sim =
+            vs::Simulation::from_chains(rs.platform, rs.chains, cfg, 5);
+        const auto sched = vc::make_scheduler(name);
+        const auto m = sim.run(*sched);
+        blob += "== " + name + " ==\n";
+        blob += vs::metrics_to_json(m);
+        blob += "\n-- actions --\n";
+        blob += trace_to_text(trace);
+        blob += "-- timeline --\n";
+        blob += timeline_to_text(timeline);
+    }
+    return blob;
+}
+
+} // namespace
+
+// The SoA worker-state layout and the batched/memoized scoring path must
+// not move a single bit of output.  These pins compare against goldens
+// captured *before* that refactor, for both stepping cores — a change in
+// scheduler decisions, tie-breaks, RNG consumption order, or metrics
+// accounting shows up as a golden diff, not just as self-consistency.
+TEST(SeedDeterminism, GreedyRunsMatchPreSoAGoldenEventCore) {
+    EXPECT_TRUE(vt::matches_golden(greedy_run_blob(/*event_core=*/true),
+                                   "seed_determinism_greedy_event.txt"));
+}
+
+TEST(SeedDeterminism, GreedyRunsMatchPreSoAGoldenSlotCore) {
+    EXPECT_TRUE(vt::matches_golden(greedy_run_blob(/*event_core=*/false),
+                                   "seed_determinism_greedy_slot.txt"));
 }
