@@ -52,28 +52,74 @@ sim::ProcId HybridScheduler::select(const sim::SchedView& view,
                                     std::span<const sim::ProcId> eligible,
                                     std::span<const int> nq, util::Rng& rng) {
     (void)rng;
-    sim::ProcId best = eligible[0];
-    double best_score = std::numeric_limits<double>::infinity();
-    for (const sim::ProcId q : eligible) {
-        const double ct = ct_plain(view, q, nq[q] + 1);
+    if (markov::ExpectationCache::bypassed()) {
+        // The seed loop, kept verbatim as the benchmark A/B's "before"
+        // leg: one worker at a time, every expectation recomputed.
+        sim::ProcId best = eligible[0];
+        double best_score = std::numeric_limits<double>::infinity();
+        for (const sim::ProcId q : eligible) {
+            const double ct = ct_plain(view, q, nq[q] + 1);
+            double score = ct;
+            if (const auto* belief = view.procs[q].belief) {
+                const auto& m = belief->matrix();
+                const auto& pi = belief->stationary();
+                const double expected = markov::e_workload(m, ct);
+                if (std::isinf(expected)) {
+                    score = std::numeric_limits<double>::infinity();
+                } else {
+                    const double p_survive =
+                        markov::p_ud_approx(m, pi.pi_u, pi.pi_r, expected);
+                    score = p_survive > 0.0
+                                ? expected / p_survive
+                                : std::numeric_limits<double>::infinity();
+                }
+            }
+            if (score < best_score) {
+                best_score = score;
+                best = q;
+            }
+        }
+        return best;
+    }
+    // Batched passes over contiguous scratch (same shape as the greedy
+    // skeleton): completion times, then scores, then argmin — decisions
+    // identical to the former scalar loop.
+    pins_.refresh(cache_, view);
+    cts_.resize(eligible.size());
+    scores_.resize(eligible.size());
+    // Inline Eq. (1) over the round's contiguous column snapshots —
+    // operation for operation the arithmetic of ct_plain.
+    const double t_data = view.platform->t_data;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const auto q = static_cast<std::size_t>(eligible[i]);
+        cts_[i] = pins_.delay[q] + t_data +
+                  static_cast<double>(nq[eligible[i]]) * pins_.step_plain[q] +
+                  pins_.w[q];
+    }
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const double ct = cts_[i];
         double score = ct;
-        if (const auto* belief = view.procs[q].belief) {
-            const auto& m = belief->matrix();
-            const auto& pi = belief->stationary();
-            const double expected = markov::e_workload(m, ct);
+        const auto q = static_cast<std::size_t>(eligible[i]);
+        if (pins_.beliefs[q] != nullptr) {
+            const auto h = pins_.handles[q];
+            const double expected = cache_.e_workload(h, ct);
             if (std::isinf(expected)) {
                 score = std::numeric_limits<double>::infinity();
             } else {
-                const double p_survive =
-                    markov::p_ud_approx(m, pi.pi_u, pi.pi_r, expected);
+                const double p_survive = cache_.p_ud_approx(h, expected);
                 score = p_survive > 0.0
                             ? expected / p_survive
                             : std::numeric_limits<double>::infinity();
             }
         }
-        if (score < best_score) {
-            best_score = score;
-            best = q;
+        scores_[i] = score;
+    }
+    sim::ProcId best = eligible[0];
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        if (scores_[i] < best_score) {
+            best_score = scores_[i];
+            best = eligible[i];
         }
     }
     return best;

@@ -18,7 +18,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/belief_pins.hpp"
+#include "markov/expectation_cache.hpp"
 #include "sim/scheduler.hpp"
 
 namespace volsched::core {
@@ -51,7 +54,17 @@ public:
     sim::ProcId select(const sim::SchedView& view,
                        std::span<const sim::ProcId> eligible,
                        std::span<const int> nq, util::Rng& rng) override;
+    void begin_round(const sim::SchedView& view) override {
+        pins_.repin(cache_, view);
+    }
     [[nodiscard]] std::string_view name() const override { return "hybrid"; }
+
+private:
+    markov::ExpectationCache cache_;
+    BeliefPins pins_;
+    // Scratch for select()'s batched passes, reused across rounds.
+    std::vector<double> cts_;
+    std::vector<double> scores_;
 };
 
 } // namespace volsched::core

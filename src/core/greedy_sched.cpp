@@ -1,5 +1,6 @@
 #include "core/greedy_sched.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -15,20 +16,83 @@ GreedyScheduler::GreedyScheduler(std::string base_name, bool starred_variant)
     if (starred_) name_ += "*";
 }
 
+void GreedyScheduler::batched_scores(const sim::SchedView& view,
+                                     std::span<const sim::ProcId> eligible,
+                                     std::span<const int> nq,
+                                     std::vector<double>& cts,
+                                     std::vector<double>& scores) {
+    pins_.refresh(cache(), view);
+    cts.resize(eligible.size());
+    scores.resize(eligible.size());
+    // Inline Eq. (1)/(2) over the round's contiguous column snapshots,
+    // operation for operation the arithmetic of ct_plain/ct_corrected
+    // (max(n-1, 0) with n = nq[q]+1 is just nq[q]).  ct_estimate stays
+    // the reference; the bypassed select() loop still calls it.
+    if (!starred_) {
+        const double t_data = view.platform->t_data;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+            const auto q = static_cast<std::size_t>(eligible[i]);
+            cts[i] = pins_.delay[q] + t_data +
+                     static_cast<double>(nq[q]) * pins_.step_plain[q] +
+                     pins_.w[q];
+        }
+    } else {
+        const int ncom = view.platform->ncom;
+        const double t_data = view.platform->t_data;
+        // The congestion factor takes one of two values per select: q
+        // already enrolled this round, or prospectively enrolled by this
+        // assignment.
+        const double td_already =
+            static_cast<double>((view.nactive + ncom - 1) / ncom) * t_data;
+        const double td_fresh =
+            static_cast<double>((view.nactive + 1 + ncom - 1) / ncom) *
+            t_data;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+            const auto q = static_cast<std::size_t>(eligible[i]);
+            const double td = nq[q] > 0 ? td_already : td_fresh;
+            cts[i] = pins_.delay[q] + td +
+                     static_cast<double>(nq[q]) * std::max(td, pins_.w[q]) +
+                     pins_.w[q];
+        }
+    }
+    score_batch(view, eligible, cts, scores);
+}
+
 sim::ProcId GreedyScheduler::select(const sim::SchedView& view,
                                     std::span<const sim::ProcId> eligible,
                                     std::span<const int> nq, util::Rng& rng) {
     (void)rng;
+    if (markov::ExpectationCache::bypassed()) {
+        // The seed scoring loop, kept verbatim: one worker at a time, a
+        // virtual score() per element, every expectation recomputed.  This
+        // is the benchmark A/B's "before" leg; it must stay the faithful
+        // pre-change cost model, not a de-cached copy of the batched path.
+        sim::ProcId best = eligible[0];
+        double best_score = std::numeric_limits<double>::infinity();
+        double best_ct = std::numeric_limits<double>::infinity();
+        for (sim::ProcId q : eligible) {
+            const double ct =
+                ct_estimate(view, q, nq[q] + 1, nq[q] > 0, starred());
+            const double s = score(view, q, ct);
+            if (s < best_score - 1e-12 ||
+                (std::fabs(s - best_score) <= 1e-12 && ct < best_ct)) {
+                best = q;
+                best_score = s;
+                best_ct = ct;
+            }
+        }
+        return best;
+    }
+    batched_scores(view, eligible, nq, cts_, scores_);
     sim::ProcId best = eligible[0];
     double best_score = std::numeric_limits<double>::infinity();
     double best_ct = std::numeric_limits<double>::infinity();
-    for (sim::ProcId q : eligible) {
-        const double ct =
-            ct_estimate(view, q, nq[q] + 1, nq[q] > 0, starred_);
-        const double s = score(view, q, ct);
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const double s = scores_[i];
+        const double ct = cts_[i];
         if (s < best_score - 1e-12 ||
             (std::fabs(s - best_score) <= 1e-12 && ct < best_ct)) {
-            best = q;
+            best = eligible[i];
             best_score = s;
             best_ct = ct;
         }
@@ -44,6 +108,13 @@ double MctScheduler::score(const sim::SchedView&, sim::ProcId,
     return ct;
 }
 
+void MctScheduler::score_batch(const sim::SchedView&,
+                               std::span<const sim::ProcId> eligible,
+                               std::span<const double> cts,
+                               std::span<double> scores) {
+    for (std::size_t i = 0; i < eligible.size(); ++i) scores[i] = cts[i];
+}
+
 EmctScheduler::EmctScheduler(bool starred_variant)
     : GreedyScheduler("emct", starred_variant) {}
 
@@ -52,6 +123,18 @@ double EmctScheduler::score(const sim::SchedView& view, sim::ProcId q,
     const auto* belief = view.procs[q].belief;
     if (belief == nullptr) return ct; // uninformed: degrade to MCT
     return markov::e_workload(belief->matrix(), ct);
+}
+
+void EmctScheduler::score_batch(const sim::SchedView& view,
+                                std::span<const sim::ProcId> eligible,
+                                std::span<const double> cts,
+                                std::span<double> scores) {
+    (void)view;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        scores[i] = belief_of(eligible[i]) == nullptr
+                        ? cts[i] // uninformed: degrade to MCT
+                        : cache().e_workload(pin_of(eligible[i]), cts[i]);
+    }
 }
 
 LwScheduler::LwScheduler(bool starred_variant)
@@ -65,6 +148,24 @@ double LwScheduler::score(const sim::SchedView& view, sim::ProcId q,
     if (p <= 0.0) return std::numeric_limits<double>::infinity();
     // Maximize p^ct  <=>  minimize -ct * ln(p)  (ln(p) <= 0).
     return -ct * std::log(p);
+}
+
+void LwScheduler::score_batch(const sim::SchedView& view,
+                              std::span<const sim::ProcId> eligible,
+                              std::span<const double> cts,
+                              std::span<double> scores) {
+    (void)view;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        if (belief_of(eligible[i]) == nullptr) {
+            scores[i] = 0.0; // uninformed: all ties, CT breaks them
+            continue;
+        }
+        const auto h = pin_of(eligible[i]);
+        const double p = cache().p_plus(h);
+        // Maximize p^ct  <=>  minimize -ct * ln(p)  (ln(p) <= 0).
+        scores[i] = p <= 0.0 ? std::numeric_limits<double>::infinity()
+                             : -cts[i] * cache().log_p_plus(h);
+    }
 }
 
 UdScheduler::UdScheduler(bool starred_variant)
@@ -81,6 +182,27 @@ double UdScheduler::score(const sim::SchedView& view, sim::ProcId q,
     const double p = markov::p_ud_approx(m, pi.pi_u, pi.pi_r, expected);
     // Maximize p  <=>  minimize -p (log not needed: p is a single factor).
     return -p;
+}
+
+void UdScheduler::score_batch(const sim::SchedView& view,
+                              std::span<const sim::ProcId> eligible,
+                              std::span<const double> cts,
+                              std::span<double> scores) {
+    (void)view;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        if (belief_of(eligible[i]) == nullptr) {
+            scores[i] = 0.0;
+            continue;
+        }
+        const auto h = pin_of(eligible[i]);
+        const double expected = cache().e_workload(h, cts[i]);
+        if (std::isinf(expected)) {
+            scores[i] = std::numeric_limits<double>::infinity();
+            continue;
+        }
+        // Maximize p  <=>  minimize -p (log not needed: one factor).
+        scores[i] = -cache().p_ud_approx(h, expected);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -10,9 +10,20 @@
 ///
 /// Ties are broken toward the smaller CT estimate, then the lower processor
 /// index, making every greedy heuristic fully deterministic.
+///
+/// Scoring runs in batched passes over contiguous arrays — one pass fills
+/// the completion-time estimates, one pass the scores, one argmin pass
+/// picks the winner — with the Markov expectations memoized per transition
+/// matrix (markov/expectation_cache.hpp).  Both are pure layout/caching
+/// changes: decisions, tie-breaks and RNG consumption are bit-identical to
+/// the scalar one-worker-at-a-time evaluation, a property the heuristic
+/// test suite pins.
 
 #include <string>
+#include <vector>
 
+#include "core/belief_pins.hpp"
+#include "markov/expectation_cache.hpp"
 #include "sim/scheduler.hpp"
 
 namespace volsched::core {
@@ -23,22 +34,73 @@ public:
     sim::ProcId select(const sim::SchedView& view,
                        std::span<const sim::ProcId> eligible,
                        std::span<const int> nq, util::Rng& rng) final;
+    /// Round entry: pin every processor's belief in the expectation cache
+    /// (one probe + validation each), so the scoring loops below read
+    /// through handles only.
+    void begin_round(const sim::SchedView& view) final {
+        pins_.repin(cache_, view);
+    }
     [[nodiscard]] std::string_view name() const final { return name_; }
+
+    /// The scoring passes select() runs, exposed so the property tests can
+    /// compare the batched path against scalar re-evaluation: resizes and
+    /// fills `cts[i]` / `scores[i]` for `eligible[i]`.  *Smaller score is
+    /// better* (maximizing heuristics negate); `cts` feeds tie-breaking.
+    void batched_scores(const sim::SchedView& view,
+                        std::span<const sim::ProcId> eligible,
+                        std::span<const int> nq, std::vector<double>& cts,
+                        std::vector<double>& scores);
+
+    /// Scalar reference scorer: one worker at a time, straight from the
+    /// markov:: free functions — the seed implementation, byte for byte.
+    /// score_batch must match it bit-exactly (the property tests compare
+    /// the two), and select() runs it when the expectation cache is
+    /// bypassed, making the benchmark A/B a faithful before/after of the
+    /// whole batched+memoized scoring path.
+    [[nodiscard]] virtual double score(const sim::SchedView& view,
+                                       sim::ProcId q, double ct) const = 0;
+
+    /// Expectation-cache counters, exposed for tests and diagnostics.
+    [[nodiscard]] const markov::ExpectationCache& cache() const noexcept {
+        return cache_;
+    }
 
 protected:
     GreedyScheduler(std::string base_name, bool starred);
 
-    /// Returns the score of assigning the next instance to q; *smaller is
-    /// better* (maximizing heuristics negate).  `ct` is the matching
-    /// completion-time estimate, provided for tie-breaking.
-    [[nodiscard]] virtual double score(const sim::SchedView& view,
-                                       sim::ProcId q, double ct) const = 0;
+    /// One contiguous scoring pass: `scores[i]` = score of assigning the
+    /// next instance to `eligible[i]` given the completion-time estimate
+    /// `cts[i]`.  No per-element virtual dispatch — each heuristic is one
+    /// tight loop the compiler can vectorize.
+    virtual void score_batch(const sim::SchedView& view,
+                             std::span<const sim::ProcId> eligible,
+                             std::span<const double> cts,
+                             std::span<double> scores) = 0;
 
+    [[nodiscard]] markov::ExpectationCache& cache() noexcept {
+        return cache_;
+    }
+    /// The handle pinned for processor `q` this round (null when the
+    /// processor has no belief — callers branch on belief themselves).
+    [[nodiscard]] markov::ExpectationCache::Handle pin_of(
+        sim::ProcId q) const {
+        return pins_.handles[static_cast<std::size_t>(q)];
+    }
+    /// Processor q's belief chain, read from the round's contiguous
+    /// snapshot rather than the strided ProcView records.
+    [[nodiscard]] const markov::MarkovChain* belief_of(sim::ProcId q) const {
+        return pins_.beliefs[static_cast<std::size_t>(q)];
+    }
     [[nodiscard]] bool starred() const noexcept { return starred_; }
 
 private:
     std::string name_;
     bool starred_;
+    markov::ExpectationCache cache_;
+    BeliefPins pins_;
+    // Scratch for select(): reused across rounds, never shrunk.
+    std::vector<double> cts_;
+    std::vector<double> scores_;
 };
 
 /// MCT and MCT* (Section 6.3.1): minimum estimated completion time — the
@@ -47,9 +109,14 @@ class MctScheduler final : public GreedyScheduler {
 public:
     explicit MctScheduler(bool starred_variant);
 
+    [[nodiscard]] double score(const sim::SchedView& view, sim::ProcId q,
+                               double ct) const override;
+
 protected:
-    double score(const sim::SchedView& view, sim::ProcId q,
-                 double ct) const override;
+    void score_batch(const sim::SchedView& view,
+                     std::span<const sim::ProcId> eligible,
+                     std::span<const double> cts,
+                     std::span<double> scores) override;
 };
 
 /// EMCT and EMCT*: minimum *expected* completion time, inflating CT by the
@@ -58,9 +125,14 @@ class EmctScheduler final : public GreedyScheduler {
 public:
     explicit EmctScheduler(bool starred_variant);
 
+    [[nodiscard]] double score(const sim::SchedView& view, sim::ProcId q,
+                               double ct) const override;
+
 protected:
-    double score(const sim::SchedView& view, sim::ProcId q,
-                 double ct) const override;
+    void score_batch(const sim::SchedView& view,
+                     std::span<const sim::ProcId> eligible,
+                     std::span<const double> cts,
+                     std::span<double> scores) override;
 };
 
 /// LW and LW* (Section 6.3.2): maximize the probability that the processor
@@ -70,9 +142,14 @@ class LwScheduler final : public GreedyScheduler {
 public:
     explicit LwScheduler(bool starred_variant);
 
+    [[nodiscard]] double score(const sim::SchedView& view, sim::ProcId q,
+                               double ct) const override;
+
 protected:
-    double score(const sim::SchedView& view, sim::ProcId q,
-                 double ct) const override;
+    void score_batch(const sim::SchedView& view,
+                     std::span<const sim::ProcId> eligible,
+                     std::span<const double> cts,
+                     std::span<double> scores) override;
 };
 
 /// UD and UD* (Section 6.3.3): maximize the probability of not crashing
@@ -82,9 +159,14 @@ class UdScheduler final : public GreedyScheduler {
 public:
     explicit UdScheduler(bool starred_variant);
 
+    [[nodiscard]] double score(const sim::SchedView& view, sim::ProcId q,
+                               double ct) const override;
+
 protected:
-    double score(const sim::SchedView& view, sim::ProcId q,
-                 double ct) const override;
+    void score_batch(const sim::SchedView& view,
+                     std::span<const sim::ProcId> eligible,
+                     std::span<const double> cts,
+                     std::span<double> scores) override;
 };
 
 } // namespace volsched::core

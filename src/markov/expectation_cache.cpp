@@ -1,0 +1,123 @@
+#include "markov/expectation_cache.hpp"
+
+namespace volsched::markov {
+namespace {
+
+/// Exact (bitwise-equality) matrix comparison: invalidation must trigger on
+/// *any* change, and probabilities are never NaN in a validated chain.
+bool same_matrix(const TransitionMatrix& a,
+                 const TransitionMatrix& b) noexcept {
+    return a.p_uu() == b.p_uu() && a.p_ur() == b.p_ur() &&
+           a.p_ud() == b.p_ud() && a.p_ru() == b.p_ru() &&
+           a.p_rr() == b.p_rr() && a.p_rd() == b.p_rd() &&
+           a.p_du() == b.p_du() && a.p_dr() == b.p_dr() &&
+           a.p_dd() == b.p_dd();
+}
+
+} // namespace
+
+ExpectationCache::Entry& ExpectationCache::entry(const MarkovChain& chain) {
+    // MRU fast path: one score evaluation typically reads two or three
+    // quantities of the same chain back to back — skip the hash probe for
+    // those.  The matrix re-validation stays even here: address reuse must
+    // be caught on the very next access.
+    if (&chain == mru_chain_ &&
+        same_matrix(mru_entry_->matrix, chain.matrix()))
+        return *mru_entry_;
+    auto [it, inserted] = entries_.try_emplace(&chain);
+    if (inserted) {
+        it->second.matrix = chain.matrix();
+        it->second.pi_u = chain.stationary().pi_u;
+        it->second.pi_r = chain.stationary().pi_r;
+    } else if (!same_matrix(it->second.matrix, chain.matrix())) {
+        it->second = Entry{};
+        it->second.matrix = chain.matrix();
+        it->second.pi_u = chain.stationary().pi_u;
+        it->second.pi_r = chain.stationary().pi_r;
+        ++invalidations_;
+    }
+    mru_chain_ = &chain;
+    mru_entry_ = &it->second;
+    return it->second;
+}
+
+double ExpectationCache::p_plus(const MarkovChain& chain) {
+    if (bypass_) return markov::p_plus(chain.matrix());
+    return scalar(entry(chain), kPPlus);
+}
+
+double ExpectationCache::log_p_plus(const MarkovChain& chain) {
+    if (bypass_) return std::log(markov::p_plus(chain.matrix()));
+    return scalar(entry(chain), kLogPPlus);
+}
+
+double ExpectationCache::e_up(const MarkovChain& chain) {
+    if (bypass_) return markov::e_up(chain.matrix());
+    return scalar(entry(chain), kEUp);
+}
+
+double ExpectationCache::e_workload(const MarkovChain& chain,
+                                    double workload) {
+    if (bypass_) return markov::e_workload(chain.matrix(), workload);
+    // Same early-outs as the free function, taken before any cache work.
+    if (workload <= 0.0) return 0.0;
+    if (workload <= 1.0) return workload;
+    const double eu = scalar(entry(chain), kEUp);
+    if (std::isinf(eu)) return std::numeric_limits<double>::infinity();
+    return 1.0 + (workload - 1.0) * eu;
+}
+
+double ExpectationCache::p_ud_exact(const MarkovChain& chain, unsigned k) {
+    if (bypass_) return markov::p_ud_exact(chain.matrix(), k);
+    if (k <= 1) return 1.0;
+    Entry& e = entry(chain);
+    const auto it = e.ud_exact.find(k);
+    if (it != e.ud_exact.end()) {
+        ++hits_;
+        return it->second;
+    }
+    const double v = markov::p_ud_exact(e.matrix, k);
+    e.ud_exact.emplace(k, v);
+    ++misses_;
+    return v;
+}
+
+double ExpectationCache::p_ud_approx(const MarkovChain& chain, double k) {
+    if (bypass_) {
+        const Stationary& pi = chain.stationary();
+        return markov::p_ud_approx(chain.matrix(), pi.pi_u, pi.pi_r, k);
+    }
+    // Mirror the free function's branch order exactly: the k <= 1 return
+    // precedes any chain quantity, and k <= 2 stops at the memoized
+    // first-slot factor — neither ever reaches the power term.
+    if (k <= 1.0) return 1.0;
+    return p_ud_approx_entry(entry(chain), k);
+}
+
+double ExpectationCache::mean_time_to_down(const MarkovChain& chain) {
+    if (bypass_) return markov::mean_time_to_down(chain.matrix());
+    return scalar(entry(chain), kMeanTimeToDown);
+}
+
+double ExpectationCache::mean_time_to_down_from_reclaimed(
+    const MarkovChain& chain) {
+    if (bypass_)
+        return markov::mean_time_to_down_from_reclaimed(chain.matrix());
+    return scalar(entry(chain), kMeanTimeToDownFromReclaimed);
+}
+
+double ExpectationCache::mean_recovery_time(const MarkovChain& chain) {
+    if (bypass_) return markov::mean_recovery_time(chain.matrix());
+    return scalar(entry(chain), kMeanRecoveryTime);
+}
+
+void ExpectationCache::clear() noexcept {
+    mru_chain_ = nullptr;
+    mru_entry_ = nullptr;
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    invalidations_ = 0;
+}
+
+} // namespace volsched::markov

@@ -31,26 +31,108 @@ struct Instance {
     long long commit_slot = -1;
 };
 
-/// Runtime protocol state of one worker.
-struct Worker {
-    ProcState state = ProcState::Up;
-    bool has_program = false;
-    bool prog_in_flight = false;
-    int prog_remaining = 0;
-    long long prog_start = -1;
-    int staged = -1;    ///< instance index receiving / holding next-task data
-    long long data_start = -1;
-    int computing = -1; ///< instance index with complete data, being computed
-    int compute_remaining = 0;
+/// Runtime protocol state of the whole fleet, stored as structure-of-arrays:
+/// one parallel vector per field, indexed by processor, so the per-slot
+/// sweeps (state advancement, scheduler-view builds, compute advancement)
+/// read contiguous memory instead of striding over an array-of-structs.
+/// The platform's speed vector (`Platform::w`) and the RLE trace cursors
+/// are the remaining per-worker parallels, owned by their own containers.
+/// `operator[]` bundles one worker's fields as references — call sites keep
+/// the old `w.field` spelling while every load/store still hits the
+/// per-field array.
+struct WorkerSoA {
+    std::vector<ProcState> state;
+    std::vector<std::uint8_t> has_program;
+    std::vector<std::uint8_t> prog_in_flight;
+    std::vector<int> prog_remaining;
+    std::vector<long long> prog_start;
+    std::vector<int> staged;    ///< instance receiving / holding next data
+    std::vector<long long> data_start;
+    std::vector<int> computing; ///< instance with complete data, computing
+    std::vector<int> compute_remaining;
     // Checkpoint upload state (only touched when a policy is attached).
-    bool ckpt_in_flight = false; ///< snapshot upload in progress
-    int ckpt_remaining = 0;      ///< transfer slots left for the upload
-    long long ckpt_start = -1;   ///< upload start slot (FIFO key)
-    int ckpt_progress = 0;       ///< q-scale progress captured by the upload
-    int since_ckpt = 0;          ///< compute slots since the last snapshot
-    int compute_credit = 0;      ///< q-scale progress granted at promotion
-    int ckpt_committed = 0;      ///< q-scale progress of the last snapshot
-                                 ///< committed by THIS incarnation
+    std::vector<std::uint8_t> ckpt_in_flight; ///< upload in progress
+    std::vector<int> ckpt_remaining;  ///< transfer slots left for the upload
+    std::vector<long long> ckpt_start; ///< upload start slot (FIFO key)
+    std::vector<int> ckpt_progress; ///< q-scale progress the upload captured
+    std::vector<int> since_ckpt;    ///< compute slots since the last snapshot
+    std::vector<int> compute_credit; ///< q-scale progress at promotion
+    std::vector<int> ckpt_committed; ///< q-scale progress of the last
+                                     ///< snapshot THIS incarnation committed
+
+    void resize(int p) {
+        const auto n = static_cast<std::size_t>(p);
+        state.assign(n, ProcState::Up);
+        has_program.assign(n, 0);
+        prog_in_flight.assign(n, 0);
+        prog_remaining.assign(n, 0);
+        prog_start.assign(n, -1);
+        staged.assign(n, -1);
+        data_start.assign(n, -1);
+        computing.assign(n, -1);
+        compute_remaining.assign(n, 0);
+        ckpt_in_flight.assign(n, 0);
+        ckpt_remaining.assign(n, 0);
+        ckpt_start.assign(n, -1);
+        ckpt_progress.assign(n, 0);
+        since_ckpt.assign(n, 0);
+        compute_credit.assign(n, 0);
+        ckpt_committed.assign(n, 0);
+    }
+
+    struct Ref {
+        ProcState& state;
+        std::uint8_t& has_program;
+        std::uint8_t& prog_in_flight;
+        int& prog_remaining;
+        long long& prog_start;
+        int& staged;
+        long long& data_start;
+        int& computing;
+        int& compute_remaining;
+        std::uint8_t& ckpt_in_flight;
+        int& ckpt_remaining;
+        long long& ckpt_start;
+        int& ckpt_progress;
+        int& since_ckpt;
+        int& compute_credit;
+        int& ckpt_committed;
+    };
+    struct ConstRef {
+        const ProcState& state;
+        const std::uint8_t& has_program;
+        const std::uint8_t& prog_in_flight;
+        const int& prog_remaining;
+        const long long& prog_start;
+        const int& staged;
+        const long long& data_start;
+        const int& computing;
+        const int& compute_remaining;
+        const std::uint8_t& ckpt_in_flight;
+        const int& ckpt_remaining;
+        const long long& ckpt_start;
+        const int& ckpt_progress;
+        const int& since_ckpt;
+        const int& compute_credit;
+        const int& ckpt_committed;
+    };
+
+    Ref operator[](int q) noexcept {
+        return {state[q],          has_program[q],   prog_in_flight[q],
+                prog_remaining[q], prog_start[q],    staged[q],
+                data_start[q],     computing[q],     compute_remaining[q],
+                ckpt_in_flight[q], ckpt_remaining[q], ckpt_start[q],
+                ckpt_progress[q],  since_ckpt[q],    compute_credit[q],
+                ckpt_committed[q]};
+    }
+    ConstRef operator[](int q) const noexcept {
+        return {state[q],          has_program[q],   prog_in_flight[q],
+                prog_remaining[q], prog_start[q],    staged[q],
+                data_start[q],     computing[q],     compute_remaining[q],
+                ckpt_in_flight[q], ckpt_remaining[q], ckpt_start[q],
+                ckpt_progress[q],  since_ckpt[q],    compute_credit[q],
+                ckpt_committed[q]};
+    }
 };
 
 /// Per-logical-task checkpoint committed at the master: `done` compute
@@ -246,7 +328,7 @@ private:
     void skip_dead_range(long long from, long long to) {
         if (config_.audit) {
             for (int q = 0; q < pf_.size(); ++q) {
-                const Worker& w = workers_[q];
+                const auto w = workers_[q];
                 if (w.state == ProcState::Up)
                     throw std::logic_error(
                         "audit: dead-slot skip with an UP worker");
@@ -333,7 +415,7 @@ private:
         int in_flight = 0;
         int min_rem = std::numeric_limits<int>::max();
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up) continue;
             if (w.prog_in_flight && w.prog_remaining > 0) {
                 ++in_flight;
@@ -362,7 +444,7 @@ private:
         // free — or instantly when data is free.
         if (budget > 0 || pf_.t_data == 0) {
             for (int q = 0; q < pf_.size(); ++q) {
-                const Worker& w = workers_[q];
+                const auto w = workers_[q];
                 if (w.state != ProcState::Up || !w.has_program ||
                     w.staged == -1)
                     continue;
@@ -400,7 +482,7 @@ private:
         if (config_.checkpoint &&
             (config_.checkpoint_cost == 0 || budget > 0)) {
             for (int q = 0; q < pf_.size(); ++q) {
-                const Worker& w = workers_[q];
+                const auto w = workers_[q];
                 if (w.state != ProcState::Up || w.computing == -1 ||
                     w.ckpt_in_flight)
                     continue;
@@ -427,7 +509,7 @@ private:
         // Compute completions: an advancing computation drains to zero —
         // and completes — in slot t + remaining - 1.
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up || w.computing == -1 ||
                 w.ckpt_in_flight)
                 continue;
@@ -482,7 +564,7 @@ private:
         for (const auto& inst : instances_) {
             if (inst.status != InstStatus::Pool || inst.planned == kNoProc)
                 continue;
-            const Worker& w = workers_[inst.planned];
+            const auto w = workers_[inst.planned];
             if (w.state != ProcState::Up || w.staged != -1) continue;
             if (w.has_program) {
                 if (pf_.t_data == 0 || budget > 0) return true;
@@ -509,7 +591,7 @@ private:
         double best_alt = std::numeric_limits<double>::infinity();
         bool drifting = false;
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up || w.staged != -1 ||
                 w.computing != -1)
                 continue;
@@ -525,7 +607,7 @@ private:
         }
         if (std::isinf(best_alt)) return false;
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Reclaimed) continue;
             if (w.staged == -1 && w.computing == -1) continue;
             if (drifting) return true; // conservatively simulate the slot
@@ -560,7 +642,7 @@ private:
                   static_cast<std::uint8_t>(0));
         for (int i = 0; i < advancing; ++i) {
             const ActiveTransfer& tr = active_[i];
-            Worker& w = workers_[tr.proc];
+            auto w = workers_[tr.proc];
             if (tr.kind == TransferKind::Prog) {
                 w.prog_remaining -= static_cast<int>(n);
                 slot_flags_[tr.proc] |= kFlagProg;
@@ -579,7 +661,7 @@ private:
             metrics_.transfer_slots += n;
         }
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.state != ProcState::Up) continue;
             metrics_.per_proc[q].up_slots += n;
             if (w.computing == -1 || w.ckpt_in_flight) continue;
@@ -633,7 +715,7 @@ private:
     void audit_steady_range(long long from, long long to) {
         const long long n = to - from;
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             for (long long s = from; s < to; ++s)
                 if (cursors_[q].state_at(s) != w.state)
                     throw std::logic_error(
@@ -643,7 +725,7 @@ private:
             std::min(pf_.ncom, static_cast<int>(active_.size()));
         for (int i = 0; i < advancing; ++i) {
             const ActiveTransfer& tr = active_[i];
-            const Worker& w = workers_[tr.proc];
+            const auto w = workers_[tr.proc];
             const int rem = tr.kind == TransferKind::Prog ? w.prog_remaining
                             : tr.kind == TransferKind::Data
                                 ? instances_[w.staged].data_remaining
@@ -656,7 +738,7 @@ private:
         const bool consults = config_.checkpoint &&
                               (config_.checkpoint_cost == 0 || budget > 0);
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up || w.computing == -1 ||
                 w.ckpt_in_flight)
                 continue;
@@ -688,7 +770,7 @@ private:
     /// partial computation.  Original instances go back to the pool (to be
     /// resent from scratch); replicas are simply cancelled.
     void handle_down(ProcId q) {
-        Worker& w = workers_[q];
+        auto w = workers_[q];
         if (w.prog_in_flight) {
             metrics_.wasted_transfer_slots += pf_.t_prog - w.prog_remaining;
             w.prog_in_flight = false;
@@ -723,7 +805,7 @@ private:
     void release_instance(int id, bool to_pool) {
         Instance& inst = instances_[id];
         const ProcId q = inst.proc;
-        Worker& w = workers_[q];
+        auto w = workers_[q];
         if (inst.data_started)
             metrics_.wasted_transfer_slots += pf_.t_data - inst.data_remaining;
         if (w.computing == id) {
@@ -787,7 +869,7 @@ private:
     void build_active() {
         active_.clear();
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up) continue;
             if (w.prog_in_flight && w.prog_remaining > 0)
                 active_.push_back({w.prog_start, q, TransferKind::Prog});
@@ -811,7 +893,7 @@ private:
         build_active();
         for (const auto& tr : active_) {
             if (budget == 0) break;
-            Worker& w = workers_[tr.proc];
+            auto w = workers_[tr.proc];
             if (tr.kind == TransferKind::Prog) {
                 --w.prog_remaining;
                 slot_flags_[tr.proc] |= kFlagProg;
@@ -847,7 +929,7 @@ private:
     void start_checkpoints(long long t, int& budget) {
         if (!config_.checkpoint) return;
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.state != ProcState::Up || w.computing == -1 ||
                 w.ckpt_in_flight)
                 continue;
@@ -916,7 +998,7 @@ private:
     void start_pending_data(long long t, int& budget) {
         pending_.clear();
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up || !w.has_program || w.staged == -1)
                 continue;
             const Instance& inst = instances_[w.staged];
@@ -932,7 +1014,7 @@ private:
                                  : a < b;
                   });
         for (ProcId q : pending_) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             Instance& inst = instances_[w.staged];
             if (pf_.t_data == 0) { // zero-cost data: completes instantly
                 inst.data_started = true;
@@ -974,8 +1056,8 @@ private:
         }
 
         int up_count = 0;
-        for (const auto& w : workers_)
-            if (w.state == ProcState::Up) ++up_count;
+        for (const ProcState s : workers_.state)
+            if (s == ProcState::Up) ++up_count;
 
         const bool may_replicate =
             config_.replica_cap > 0 && up_count > remaining_logical_;
@@ -988,14 +1070,15 @@ private:
         if (pool_.empty() && !may_replicate) return;
         if (up_count == 0) return;
 
-        // Build the heuristic's snapshot.
+        // Build the heuristic's snapshot: one sweep over the SoA columns
+        // the scoring loops read (state, staged, speed), contiguous per
+        // field.
         views_.resize(static_cast<std::size_t>(pf_.size()));
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
             ProcView& v = views_[q];
-            v.state = w.state;
-            v.has_program = w.has_program;
-            v.buffer_free = (w.staged == -1);
+            v.state = workers_.state[q];
+            v.has_program = workers_.has_program[q] != 0;
+            v.buffer_free = (workers_.staged[q] == -1);
             v.w = pf_.w[q];
             v.delay = delay_of(q);
             v.belief = beliefs_ ? &(*beliefs_)[q] : nullptr;
@@ -1116,7 +1199,7 @@ private:
         // data + compute, inflated by expected RECLAIMED detours.
         double best_alt = std::numeric_limits<double>::infinity();
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.state != ProcState::Up || w.staged != -1 ||
                 w.computing != -1)
                 continue;
@@ -1133,7 +1216,7 @@ private:
         if (std::isinf(best_alt)) return;
 
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.state != ProcState::Reclaimed) continue;
             if (w.staged == -1 && w.computing == -1) continue;
             const auto& m = (*beliefs_)[q].matrix();
@@ -1168,7 +1251,7 @@ private:
     /// transfer.  Returns true when the instance got committed.
     bool try_commit(int id, ProcId q, long long t, int& budget) {
         Instance& inst = instances_[id];
-        Worker& w = workers_[q];
+        auto w = workers_[q];
         if (w.state != ProcState::Up || w.staged != -1) return false;
         if (w.has_program) {
             // Needs a data transfer right away.
@@ -1232,7 +1315,7 @@ private:
 
     void advance_compute() {
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.state != ProcState::Up || w.computing == -1) continue;
             // Computation pauses while the worker's snapshot uploads — the
             // classic checkpoint overhead the policies must amortize.
@@ -1274,7 +1357,7 @@ private:
     /// when the final iteration finished during this slot.
     bool end_of_slot(long long t) {
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.prog_in_flight && w.prog_remaining == 0) {
                 w.prog_in_flight = false;
                 w.has_program = true;
@@ -1304,13 +1387,13 @@ private:
         }
         // Task completions (may cancel siblings staged on other workers).
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.computing == -1 || w.compute_remaining > 0) continue;
             complete_instance(w.computing);
         }
         // Promotions: a data-complete staged task starts computing next slot.
         for (int q = 0; q < pf_.size(); ++q) {
-            Worker& w = workers_[q];
+            auto w = workers_[q];
             if (w.computing != -1 || w.staged == -1) continue;
             Instance& inst = instances_[w.staged];
             if (!inst.data_done) continue;
@@ -1353,7 +1436,7 @@ private:
 
     void complete_instance(int id) {
         Instance& inst = instances_[id];
-        Worker& w = workers_[inst.proc];
+        auto w = workers_[inst.proc];
         inst.status = InstStatus::Done;
         w.computing = -1;
         w.compute_remaining = 0;
@@ -1430,7 +1513,7 @@ private:
     /// committed compute (plus an in-flight checkpoint upload, which blocks
     /// the compute pipeline), assuming the worker stays UP, contention-free.
     [[nodiscard]] int delay_of(ProcId q) const {
-        const Worker& w = workers_[q];
+        const auto w = workers_[q];
         int d = 0;
         if (!w.has_program)
             d += w.prog_in_flight ? w.prog_remaining : pf_.t_prog;
@@ -1442,7 +1525,7 @@ private:
     }
 
     [[nodiscard]] bool holds_logical(ProcId q, int logical) const {
-        const Worker& w = workers_[q];
+        const auto w = workers_[q];
         if (w.staged != -1 && instances_[w.staged].logical == logical)
             return true;
         if (w.computing != -1 && instances_[w.computing].logical == logical)
@@ -1479,7 +1562,7 @@ private:
         if (live_scan != live_from_counts)
             throw std::logic_error("audit: live-instance count drift");
         for (int q = 0; q < pf_.size(); ++q) {
-            const Worker& w = workers_[q];
+            const auto w = workers_[q];
             if (w.prog_in_flight && w.has_program)
                 throw std::logic_error("audit: program both held and in flight");
             if (w.staged != -1) {
@@ -1544,7 +1627,7 @@ private:
     util::Rng sched_rng_{0};
     const std::vector<markov::MarkovChain>* beliefs_ = nullptr;
 
-    std::vector<Worker> workers_;
+    WorkerSoA workers_;
     int up_count_ = 0;
     std::vector<Instance> instances_;
     std::vector<TaskCheckpoint> ckpt_store_; ///< per logical task, per iter
