@@ -258,3 +258,80 @@ INSTANTIATE_TEST_SUITE_P(
     ChainsAndWorkloads, Theorem2Property,
     ::testing::Combine(::testing::Values(1, 2, 3, 4),
                        ::testing::Values(2, 5, 12, 30)));
+
+TEST(SuccessProbability, UnitOrSmallerWorkloadIsCertain) {
+    // W <= 1 means the current UP slot already covers the work: success
+    // probability 1 before any P+ power is taken — even for a chain whose
+    // P+ is 0, where the power itself would vanish.
+    volsched::util::Rng rng(112);
+    const auto m = vm::generate_matrix(rng);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(m, -3.0), 1.0);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(m, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(m, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(m, 1.0), 1.0);
+    const vm::TransitionMatrix dead({{{0.0, 0.5, 0.5},
+                                      {0.0, 1.0, 0.0},
+                                      {0.0, 0.0, 1.0}}});
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(dead, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(vm::workload_success_probability(dead, 2.0), 0.0);
+}
+
+TEST(SuccessProbability, DecreasesWithWorkloadBeyondOne) {
+    volsched::util::Rng rng(113);
+    const auto m = vm::generate_matrix(rng);
+    double prev = 1.0;
+    for (double w = 2.0; w <= 32.0; w *= 2.0) {
+        const double p = vm::workload_success_probability(m, w);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(MeanTimeFromReclaimed, DecoupledReclaimedRowIsGeometric) {
+    // P_ru = 0 decouples the RECLAIMED equation: h_r = 1 / (1 - P_rr).
+    const vm::TransitionMatrix m({{{0.6, 0.2, 0.2},
+                                   {0.0, 0.5, 0.5},
+                                   {0.3, 0.3, 0.4}}});
+    EXPECT_DOUBLE_EQ(vm::mean_time_to_down_from_reclaimed(m), 2.0);
+}
+
+TEST(MeanTimeFromReclaimed, MatchesHandSolvedSystem) {
+    // h_u = 1 + 0.5 h_u + 0.3 h_r, h_r = 1 + 0.4 h_u + 0.4 h_r
+    // => h_u = h_r = 5.
+    const vm::TransitionMatrix m({{{0.5, 0.3, 0.2},
+                                   {0.4, 0.4, 0.2},
+                                   {0.7, 0.2, 0.1}}});
+    EXPECT_NEAR(vm::mean_time_to_down(m), 5.0, 1e-12);
+    EXPECT_NEAR(vm::mean_time_to_down_from_reclaimed(m), 5.0, 1e-12);
+}
+
+TEST(MeanTimeFromReclaimed, EqualsMttfOfLabelSwappedChain) {
+    // Swapping the UP and RECLAIMED labels turns "time to DOWN from
+    // RECLAIMED" into plain MTTF — the two closed forms must agree bit
+    // for bit on the relabeled matrix.
+    volsched::util::Rng rng(114);
+    const auto m = vm::generate_matrix(rng);
+    const vm::TransitionMatrix swapped(
+        {{{m.p_rr(), m.p_ru(), m.p_rd()},
+          {m.p_ur(), m.p_uu(), m.p_ud()},
+          {m.p_dr(), m.p_du(), m.p_dd()}}});
+    EXPECT_EQ(vm::mean_time_to_down_from_reclaimed(m),
+              vm::mean_time_to_down(swapped));
+}
+
+TEST(MeanRecovery, UnreachableUpIsInfinite) {
+    // {RECLAIMED, DOWN} form a closed class: the first-passage system to
+    // UP is singular and the expected recovery time diverges.
+    const vm::TransitionMatrix m({{{0.6, 0.2, 0.2},
+                                   {0.0, 0.4, 0.6},
+                                   {0.0, 0.3, 0.7}}});
+    EXPECT_TRUE(std::isinf(vm::mean_recovery_time(m)));
+}
+
+TEST(MeanRecovery, DecoupledDownRowIsGeometric) {
+    // P_dr = 0 decouples the DOWN equation: h_d = 1 / (1 - P_dd).
+    const vm::TransitionMatrix m({{{0.6, 0.2, 0.2},
+                                   {0.5, 0.3, 0.2},
+                                   {0.5, 0.0, 0.5}}});
+    EXPECT_DOUBLE_EQ(vm::mean_recovery_time(m), 2.0);
+}

@@ -3,9 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "core/ct.hpp"
 #include "core/factory.hpp"
+#include "core/greedy_sched.hpp"
 #include "markov/expectation.hpp"
+#include "markov/expectation_cache.hpp"
 #include "markov/gen.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -141,6 +146,120 @@ TEST_P(HeuristicProperty, InformedFamiliesAgreeOnIdenticalProcessors) {
     for (const auto& name : vc::greedy_heuristic_names()) {
         auto sched = vc::make_scheduler(name);
         EXPECT_EQ(sched->select(f.view, all_procs(5), nq, rng), 0) << name;
+    }
+}
+
+TEST_P(HeuristicProperty, BatchedScoresMatchScalarReferenceBitExactly) {
+    // The batched scoring passes (contiguous CT fill + score_batch over
+    // pinned cache handles) must reproduce the scalar reference — one
+    // worker at a time, straight from the markov:: free functions — to
+    // the last bit, uninformed workers included.
+    Fixture f(8, static_cast<std::uint64_t>(GetParam()) + 500);
+    f.procs[2].belief = nullptr;
+    f.procs[6].belief = nullptr;
+    f.view.procs = f.procs;
+    const std::vector<int> nq = {0, 3, 1, 0, 2, 0, 5, 1};
+    const auto eligible = all_procs(8);
+    for (const auto& name : vc::greedy_heuristic_names()) {
+        auto sched = vc::make_scheduler(name);
+        auto* greedy = dynamic_cast<vc::GreedyScheduler*>(sched.get());
+        ASSERT_NE(greedy, nullptr) << name;
+        const bool starred = !name.empty() && name.back() == '*';
+        greedy->begin_round(f.view);
+        std::vector<double> cts;
+        std::vector<double> scores;
+        greedy->batched_scores(f.view, eligible, nq, cts, scores);
+        ASSERT_EQ(cts.size(), eligible.size()) << name;
+        ASSERT_EQ(scores.size(), eligible.size()) << name;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+            const auto q = eligible[i];
+            const double ct =
+                vc::ct_estimate(f.view, q, nq[q] + 1, nq[q] > 0, starred);
+            EXPECT_EQ(cts[i], ct) << name << " ct of proc " << q;
+            EXPECT_EQ(scores[i], greedy->score(f.view, q, ct))
+                << name << " score of proc " << q;
+        }
+    }
+}
+
+TEST_P(HeuristicProperty, DecisionsInvariantUnderWorkerPermutation) {
+    // Relabeling the workers (shuffling their insertion order into the
+    // per-round arrays) while presenting the same candidates in the same
+    // sequence must relabel the decision and nothing else — scoring reads
+    // per-worker state only, never array positions.
+    constexpr int p = 7;
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Fixture f(p, seed + 600);
+    Fixture g(p, seed + 600); // identical platform draw, rewired below
+    std::vector<vs::ProcId> perm(p);
+    std::iota(perm.begin(), perm.end(), 0);
+    volsched::util::Rng shuffle_rng(seed + 601);
+    for (int i = p - 1; i > 0; --i)
+        std::swap(perm[static_cast<std::size_t>(i)],
+                  perm[shuffle_rng.uniform_int(
+                      0, static_cast<std::uint64_t>(i))]);
+    for (int q = 0; q < p; ++q) {
+        const auto to = static_cast<std::size_t>(perm[q]);
+        g.procs[to] = f.procs[q];
+        g.chains[to] = f.chains[q];
+        g.platform.w[to] = f.platform.w[q];
+    }
+    for (int q = 0; q < p; ++q) g.procs[q].belief = &g.chains[q];
+    g.view.procs = g.procs;
+
+    const auto eligible_f = all_procs(p);
+    std::vector<vs::ProcId> eligible_g(eligible_f.size());
+    for (std::size_t i = 0; i < eligible_f.size(); ++i)
+        eligible_g[i] = perm[static_cast<std::size_t>(eligible_f[i])];
+    const std::vector<int> nq_f = {0, 2, 0, 1, 4, 0, 1};
+    std::vector<int> nq_g(p, 0);
+    for (int q = 0; q < p; ++q)
+        nq_g[static_cast<std::size_t>(perm[q])] = nq_f[q];
+
+    auto names = vc::all_heuristic_names();
+    const auto& ext = vc::extension_heuristic_names();
+    names.insert(names.end(), ext.begin(), ext.end());
+    for (const auto& name : names) {
+        auto sched_f = vc::make_scheduler(name);
+        auto sched_g = vc::make_scheduler(name);
+        volsched::util::Rng rng_f(77);
+        volsched::util::Rng rng_g(77);
+        sched_f->begin_round(f.view);
+        sched_g->begin_round(g.view);
+        const auto pick_f = sched_f->select(f.view, eligible_f, nq_f, rng_f);
+        const auto pick_g = sched_g->select(g.view, eligible_g, nq_g, rng_g);
+        EXPECT_EQ(pick_g, perm[static_cast<std::size_t>(pick_f)]) << name;
+    }
+}
+
+TEST_P(HeuristicProperty, CachedSelectMatchesBypassedScalarSelect) {
+    // select() with the expectation cache engaged (batched passes) and
+    // with the cache bypassed (the pre-change scalar loops, kept verbatim
+    // for the benchmark A/B) must make identical decisions from identical
+    // RNG streams.
+    struct BypassGuard {
+        ~BypassGuard() { vm::ExpectationCache::set_bypass(false); }
+    } guard;
+    Fixture f(6, static_cast<std::uint64_t>(GetParam()) + 700);
+    const std::vector<int> nq = {1, 0, 2, 0, 0, 3};
+    const auto eligible = all_procs(6);
+    auto names = vc::all_heuristic_names();
+    const auto& ext = vc::extension_heuristic_names();
+    names.insert(names.end(), ext.begin(), ext.end());
+    for (const auto& name : names) {
+        auto cached = vc::make_scheduler(name);
+        auto scalar = vc::make_scheduler(name);
+        volsched::util::Rng rng_cached(5);
+        volsched::util::Rng rng_scalar(5);
+        cached->begin_round(f.view);
+        const auto pick_cached =
+            cached->select(f.view, eligible, nq, rng_cached);
+        vm::ExpectationCache::set_bypass(true);
+        scalar->begin_round(f.view);
+        const auto pick_scalar =
+            scalar->select(f.view, eligible, nq, rng_scalar);
+        vm::ExpectationCache::set_bypass(false);
+        EXPECT_EQ(pick_cached, pick_scalar) << name;
     }
 }
 
