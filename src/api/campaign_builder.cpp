@@ -44,6 +44,21 @@ CampaignBuilder::progress(std::function<void(long long, long long)> cb) {
     return *this;
 }
 
+CampaignBuilder& CampaignBuilder::pipeline(bool on) {
+    config_.pipeline = on;
+    return *this;
+}
+
+CampaignBuilder& CampaignBuilder::pipeline_window(int jobs) {
+    config_.pipeline_window = jobs;
+    return *this;
+}
+
+CampaignBuilder& CampaignBuilder::parallel(int shard_count) {
+    config_.shard_count = shard_count;
+    return *this;
+}
+
 exp::CampaignConfig CampaignBuilder::config() const {
     if (root_.empty())
         throw std::invalid_argument(
@@ -62,8 +77,18 @@ exp::CampaignConfig CampaignBuilder::config() const {
     return out;
 }
 
+exp::CampaignConfig CampaignBuilder::parallel_config() const {
+    exp::CampaignConfig out = config();
+    out.directory = root_;
+    return out;
+}
+
 exp::CampaignResult CampaignBuilder::run() const {
     return exp::run_campaign(config());
+}
+
+exp::ParallelCampaignResult CampaignBuilder::run_parallel() const {
+    return exp::run_parallel_campaign(parallel_config());
 }
 
 } // namespace volsched::api

@@ -46,13 +46,32 @@ public:
     /// Stop after N checkpoints (time-sliced operation); 0 runs to the end.
     CampaignBuilder& stop_after_batches(int batches);
     CampaignBuilder& progress(std::function<void(long long, long long)> cb);
+    /// Execution mode: the barrier-free completion pipeline (default) or
+    /// the historical batch loop (pipeline(false), A/B benchmarking only).
+    CampaignBuilder& pipeline(bool on = true);
+    /// Pipeline run-ahead bound in jobs; 0 (default) auto-sizes to
+    /// max(checkpoint cadence, 2 x pool size).
+    CampaignBuilder& pipeline_window(int jobs);
+    /// Sets the shard count for run_parallel(): all N shards driven from
+    /// this process over one shared worker pool.
+    CampaignBuilder& parallel(int shard_count);
 
     /// The assembled configuration (directory resolved to the shard
     /// sub-directory).  Throws std::invalid_argument when incomplete.
     [[nodiscard]] exp::CampaignConfig config() const;
 
+    /// The assembled configuration with the directory left at the campaign
+    /// root (shard sub-directories are resolved per shard), as
+    /// run_parallel() consumes it.
+    [[nodiscard]] exp::CampaignConfig parallel_config() const;
+
     /// Runs (or resumes) this shard.
     exp::CampaignResult run() const;
+
+    /// Runs (or resumes) every shard in-process — see
+    /// exp::run_parallel_campaign.  Uses the .parallel(N) shard count
+    /// (.shard() index is ignored).
+    exp::ParallelCampaignResult run_parallel() const;
 
 private:
     exp::CampaignConfig config_;

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "api/registry.hpp"
 #include "ckpt/registry.hpp"
+#include "exp/index_sink.hpp"
 #include "util/atomic_io.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -174,6 +180,124 @@ void replay_records(SweepResult& result, const SweepConfig& cfg,
         fail(source + ": " + std::to_string(records.size() - consumed) +
              " records do not belong to the expected grid (duplicate shard "
              "or foreign file?)");
+}
+
+/// Streams one shard's records straight off its JSONL file, one line at a
+/// time — O(1) record memory for both the k-way merge and the resume
+/// replay.  The header is parsed (and fingerprint-verified) on open; byte
+/// offsets of the record lines are tracked for index rebuilding.
+class ShardStream {
+public:
+    explicit ShardStream(const std::filesystem::path& file)
+        : path_(file), in_(file) {
+        if (!in_)
+            fail("cannot open '" + file.string() + "'");
+        std::string line;
+        if (!std::getline(in_, line))
+            fail("'" + path_.string() + "' is empty");
+        offset_ = line.size() + 1;
+        header_ = parse_campaign_header(line);
+    }
+
+    [[nodiscard]] const CampaignHeader& header() const noexcept {
+        return header_;
+    }
+    [[nodiscard]] const std::filesystem::path& path() const noexcept {
+        return path_;
+    }
+    /// Byte offset of the line the most recent next() returned.
+    [[nodiscard]] std::uint64_t record_offset() const noexcept {
+        return record_offset_;
+    }
+
+    /// Next record, or std::nullopt at end of stream.
+    std::optional<InstanceRecord> next() {
+        std::string line;
+        while (std::getline(in_, line)) {
+            const std::uint64_t at = offset_;
+            offset_ += line.size() + 1;
+            if (line.empty()) continue;
+            try {
+                InstanceRecord rec = JsonlSink::parse_record(line);
+                record_offset_ = at;
+                return rec;
+            } catch (const std::invalid_argument& e) {
+                fail("'" + path_.string() + "' holds a malformed record (" +
+                     e.what() +
+                     "); was the shard killed without a checkpoint? resume "
+                     "it to self-heal, or delete the torn tail");
+            }
+        }
+        return std::nullopt;
+    }
+
+private:
+    std::filesystem::path path_;
+    std::ifstream in_;
+    CampaignHeader header_;
+    std::uint64_t offset_ = 0;
+    std::uint64_t record_offset_ = 0;
+};
+
+/// The resume replay: walks the already-checkpointed prefix of the shard's
+/// grid jobs, pulling each job's trials off the (already truncated) JSONL
+/// stream one line at a time and reducing through the canonical
+/// merge_job_tables order — never holding more than one record in memory.
+/// Every record's byte offset feeds the fresh index sidecar as it passes.
+void replay_shard_stream(SweepResult& tables, IndexSink& index,
+                         const std::filesystem::path& jsonl_file,
+                         std::uint64_t fingerprint,
+                         const std::vector<GridJob>& jobs,
+                         long long jobs_done, int trials) {
+    ShardStream stream(jsonl_file);
+    if (stream.header().fingerprint != fingerprint)
+        fail("records.jsonl header disagrees with the manifest");
+    const std::size_t num_heuristics = tables.heuristics.size();
+    for (long long j = 0; j < jobs_done; ++j) {
+        const GridJob& job = jobs[static_cast<std::size_t>(j)];
+        DfbTable local(num_heuristics);
+        for (int t = 0; t < trials; ++t) {
+            auto rec = stream.next();
+            if (!rec)
+                fail("resume: '" + jsonl_file.string() +
+                     "' ran out of records at scenario ordinal " +
+                     std::to_string(job.ordinal) + " trial " +
+                     std::to_string(t) +
+                     " (fewer records than the manifest checkpointed)");
+            if (rec->scenario_ordinal != job.ordinal || rec->trial != t)
+                fail("resume: '" + jsonl_file.string() +
+                     "' yields (ordinal " +
+                     std::to_string(rec->scenario_ordinal) + ", trial " +
+                     std::to_string(rec->trial) + ") where (ordinal " +
+                     std::to_string(job.ordinal) + ", trial " +
+                     std::to_string(t) +
+                     ") was expected (duplicate, missing, or out-of-order "
+                     "record?)");
+            if (rec->scenario.seed != job.scenario.seed)
+                fail("resume: ordinal " + std::to_string(job.ordinal) +
+                     " carries seed " + std::to_string(rec->scenario.seed) +
+                     " but the grid expects " +
+                     std::to_string(job.scenario.seed) +
+                     " (records from a different campaign?)");
+            if (rec->scenario.checkpoint != job.scenario.checkpoint)
+                fail("resume: ordinal " + std::to_string(job.ordinal) +
+                     " carries checkpoint policy '" +
+                     rec->scenario.checkpoint + "' but the grid expects '" +
+                     job.scenario.checkpoint + "'");
+            if (rec->makespans.size() != num_heuristics)
+                fail("resume: ordinal " + std::to_string(job.ordinal) +
+                     " has " + std::to_string(rec->makespans.size()) +
+                     " makespans, expected " +
+                     std::to_string(num_heuristics));
+            index.add(rec->scenario_ordinal, rec->trial,
+                      stream.record_offset());
+            local.add_instance(rec->makespans);
+        }
+        merge_job_tables(tables, job.scenario, local);
+    }
+    if (stream.next())
+        fail("resume: '" + jsonl_file.string() +
+             "' holds more records than the manifest checkpointed");
 }
 
 } // namespace
@@ -369,6 +493,13 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         throw std::invalid_argument("campaign: no output directory");
     if (cfg.checkpoint_jobs < 1)
         throw std::invalid_argument("campaign: checkpoint_jobs must be >= 1");
+    if (cfg.pipeline_window < 0)
+        throw std::invalid_argument(
+            "campaign: pipeline_window must be >= 0");
+    if (cfg.pool && !cfg.pipeline)
+        throw std::invalid_argument(
+            "campaign: a shared pool requires pipeline mode (the barrier "
+            "loop's parallel_for would block other drivers)");
     if (cfg.heuristics.empty())
         throw std::invalid_argument("campaign: no heuristics");
     for (const auto& name : cfg.heuristics)
@@ -398,6 +529,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         std::filesystem::remove(manifest_path(cfg.directory));
         std::filesystem::remove(jsonl_file);
         std::filesystem::remove(csv_file);
+        std::filesystem::remove(index_path(jsonl_file));
     }
 
     if (previous) {
@@ -429,6 +561,10 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     if (cfg.write_csv)
         csv.emplace(csv_file, cfg.heuristics,
                     has_checkpoint_axis(cfg.sweep));
+    // The index sidecar is derived data: started fresh on every run and
+    // refilled from the replay on resume, so it never participates in the
+    // truncate-to-manifest contract.
+    IndexSink index(index_path(jsonl_file), fingerprint);
 
     CampaignResult result(cfg.heuristics);
     result.jobs_total = static_cast<long long>(jobs.size());
@@ -438,22 +574,14 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     if (previous) {
         // The resume contract: truncate each sink to the last durable
         // checkpoint, then rebuild the shard-local tables by replaying the
-        // surviving records through the canonical reduction.
+        // surviving records — streamed one line at a time — through the
+        // canonical reduction.
         jsonl.resume_at(previous->jsonl_bytes);
         if (csv) csv->resume_at(previous->csv_bytes);
         jobs_done = previous->jobs_done;
-
-        const auto [header, records] = read_shard_records(jsonl_file);
-        if (header.fingerprint != fingerprint)
-            fail("records.jsonl header disagrees with the manifest");
-        if (static_cast<long long>(records.size()) != jobs_done * trials)
-            fail("records.jsonl holds " + std::to_string(records.size()) +
-                 " records but the manifest checkpointed " +
-                 std::to_string(jobs_done * trials));
-        const std::vector<GridJob> done_jobs(
-            jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(jobs_done));
-        replay_records(result.tables, cfg.sweep, done_jobs, records,
-                       "resume");
+        replay_shard_stream(result.tables, index, jsonl_file, fingerprint,
+                            jobs, jobs_done, trials);
+        index.flush(previous->jsonl_bytes);
     }
 
     CampaignManifest manifest;
@@ -462,80 +590,285 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     manifest.shard_count = cfg.shard_count;
     manifest.jobs_total = static_cast<long long>(jobs.size());
 
-    const long long shard_instances_total =
-        static_cast<long long>(jobs.size()) * trials;
+    const long long jobs_total = static_cast<long long>(jobs.size());
+    const long long shard_instances_total = jobs_total * trials;
     std::atomic<long long> instances_done{jobs_done * trials};
 
-    util::ThreadPool pool(cfg.sweep.threads);
-    int batches_run = 0;
-    while (jobs_done < static_cast<long long>(jobs.size())) {
-        if (cfg.stop_after_batches > 0 &&
-            batches_run >= cfg.stop_after_batches)
-            break;
-        const std::size_t batch_begin = static_cast<std::size_t>(jobs_done);
-        const std::size_t batch_end =
-            std::min(jobs.size(), batch_begin +
-                                      static_cast<std::size_t>(
-                                          cfg.checkpoint_jobs));
-        const std::size_t batch_size = batch_end - batch_begin;
+    std::optional<util::ThreadPool> owned_pool;
+    if (!cfg.pool) owned_pool.emplace(cfg.sweep.threads);
+    util::ThreadPool& pool = cfg.pool ? *cfg.pool : *owned_pool;
 
-        // Compute the batch in parallel; only bounded per-batch state is
-        // held (checkpoint_jobs x trials records), never the whole sweep.
-        std::vector<DfbTable> local(batch_size, DfbTable(num_heuristics));
-        std::vector<std::vector<InstanceRecord>> batch_records(batch_size);
-        pool.parallel_for(batch_size, [&](std::size_t i) {
-            const GridJob& job = jobs[batch_begin + i];
-            const RealizedScenario rs = realize(job.scenario);
-            batch_records[i].reserve(static_cast<std::size_t>(trials));
-            for (int trial = 0; trial < trials; ++trial) {
-                const std::uint64_t trial_seed = util::mix_seed(
-                    cfg.sweep.master_seed, 0x54524cULL, job.seed_ordinal,
-                    static_cast<std::uint64_t>(trial));
-                auto outcome =
-                    run_instance(rs, job.scenario.tasks, cfg.heuristics,
-                                 cfg.sweep.run, trial_seed,
-                                 job.scenario.checkpoint);
-                local[i].add_instance(outcome.makespans);
-                InstanceRecord rec;
-                rec.scenario_ordinal = job.ordinal;
-                rec.trial = trial;
-                rec.scenario = job.scenario;
-                rec.makespans = std::move(outcome.makespans);
-                batch_records[i].push_back(std::move(rec));
-                const long long done = ++instances_done;
-                if (cfg.sweep.progress)
-                    cfg.sweep.progress(done, shard_instances_total);
-            }
-        });
-
-        // Deterministic emission: records leave in (ordinal, trial) order
-        // regardless of which worker finished first.
-        for (std::size_t i = 0; i < batch_size; ++i) {
-            for (const InstanceRecord& rec : batch_records[i]) {
-                jsonl.write(rec);
-                if (csv) csv->write(rec);
-                if (cfg.sweep.record) cfg.sweep.record(rec);
-            }
-            merge_job_tables(result.tables, jobs[batch_begin + i].scenario,
-                             local[i]);
+    // Per-job compute, shared verbatim by both execution modes; runs on
+    // worker threads, touches no sink.
+    struct JobOutcome {
+        DfbTable local;
+        std::vector<InstanceRecord> records;
+    };
+    auto compute_job = [&](const GridJob& job) {
+        JobOutcome out{DfbTable(num_heuristics), {}};
+        const RealizedScenario rs = realize(job.scenario);
+        out.records.reserve(static_cast<std::size_t>(trials));
+        for (int trial = 0; trial < trials; ++trial) {
+            const std::uint64_t trial_seed = util::mix_seed(
+                cfg.sweep.master_seed, 0x54524cULL, job.seed_ordinal,
+                static_cast<std::uint64_t>(trial));
+            auto outcome =
+                run_instance(rs, job.scenario.tasks, cfg.heuristics,
+                             cfg.sweep.run, trial_seed,
+                             job.scenario.checkpoint);
+            out.local.add_instance(outcome.makespans);
+            InstanceRecord rec;
+            rec.scenario_ordinal = job.ordinal;
+            rec.trial = trial;
+            rec.scenario = job.scenario;
+            rec.makespans = std::move(outcome.makespans);
+            out.records.push_back(std::move(rec));
+            const long long done = ++instances_done;
+            if (cfg.sweep.progress)
+                cfg.sweep.progress(done, shard_instances_total);
         }
+        return out;
+    };
+
+    // Deterministic emission: records leave in (ordinal, trial) order
+    // regardless of which worker finished first.  Only ever called from
+    // the driver thread — the single writer every ResultSink expects.
+    auto emit_job = [&](const GridJob& job, JobOutcome& out) {
+        for (const InstanceRecord& rec : out.records) {
+            index.add(rec.scenario_ordinal, rec.trial, jsonl.offset());
+            jsonl.write(rec);
+            if (csv) csv->write(rec);
+            if (cfg.sweep.record) cfg.sweep.record(rec);
+        }
+        merge_job_tables(result.tables, job.scenario, out.local);
+    };
+
+    // Durable checkpoint: sink bytes hit the disk before the manifest
+    // vouches for them.
+    auto checkpoint = [&](long long done_now) {
         jsonl.flush();
         if (csv) csv->flush();
-
-        jobs_done = static_cast<long long>(batch_end);
-        manifest.jobs_done = jobs_done;
-        manifest.instances_done = jobs_done * trials;
+        index.flush(jsonl.offset());
+        manifest.jobs_done = done_now;
+        manifest.instances_done = done_now * trials;
         manifest.jsonl_bytes = jsonl.offset();
         manifest.csv_bytes = csv ? csv->offset() : 0;
-        manifest.complete = jobs_done == static_cast<long long>(jobs.size());
+        manifest.complete = done_now == jobs_total;
         write_manifest(cfg.directory, manifest);
-        ++batches_run;
+    };
+
+    if (!cfg.pipeline) {
+        // Historical barrier loop, kept for same-binary A/B benchmarking:
+        // every batch waits for its slowest job before anything is emitted.
+        int batches_run = 0;
+        while (jobs_done < jobs_total) {
+            if (cfg.stop_after_batches > 0 &&
+                batches_run >= cfg.stop_after_batches)
+                break;
+            const std::size_t batch_begin =
+                static_cast<std::size_t>(jobs_done);
+            const std::size_t batch_end =
+                std::min(jobs.size(),
+                         batch_begin +
+                             static_cast<std::size_t>(cfg.checkpoint_jobs));
+            const std::size_t batch_size = batch_end - batch_begin;
+
+            std::vector<JobOutcome> batch(
+                batch_size, JobOutcome{DfbTable(num_heuristics), {}});
+            pool.parallel_for(batch_size, [&](std::size_t i) {
+                batch[i] = compute_job(jobs[batch_begin + i]);
+            });
+            for (std::size_t i = 0; i < batch_size; ++i)
+                emit_job(jobs[batch_begin + i], batch[i]);
+
+            jobs_done = static_cast<long long>(batch_end);
+            checkpoint(jobs_done);
+            ++batches_run;
+        }
+    } else {
+        // The completion pipeline.  Workers pull jobs from a shared cursor
+        // (`next_submit`, advanced under `mu` as the emitter frees window
+        // slots) and deposit finished JobOutcomes keyed by job position;
+        // this driver thread is the emitter, draining deposits strictly in
+        // job order — so simulation overlaps sink I/O, a checkpoint's
+        // fsync stalls nobody, and a straggler delays only emission, not
+        // the pool.  The window caps finished-but-unemitted + in-flight
+        // jobs, bounding peak record memory just like the batch loop did.
+        const long long first_job = jobs_done;
+        long long end_jobs = jobs_total;
+        if (cfg.stop_after_batches > 0)
+            end_jobs = std::min(
+                end_jobs,
+                first_job + static_cast<long long>(cfg.stop_after_batches) *
+                                cfg.checkpoint_jobs);
+        const long long window =
+            cfg.pipeline_window > 0
+                ? cfg.pipeline_window
+                : std::max<long long>(
+                      cfg.checkpoint_jobs,
+                      2 * static_cast<long long>(pool.size()));
+
+        std::mutex mu;
+        std::condition_variable cv;
+        std::map<long long, JobOutcome> ready;
+        std::exception_ptr first_error;
+        long long in_flight = 0;
+        long long next_submit = jobs_done;
+
+        // Caller holds `mu`.  Tasks capture this stack frame by reference,
+        // which is why every exit path below drains `in_flight` to zero
+        // before unwinding.
+        auto submit_upto_window = [&](long long emitted) {
+            while (next_submit < end_jobs && !first_error &&
+                   next_submit - emitted < window) {
+                const long long j = next_submit++;
+                ++in_flight;
+                pool.submit([&, j] {
+                    // notify_all happens *under* `mu`: the driver destroys
+                    // `cv` (by unwinding this stack frame) the moment it
+                    // observes in_flight == 0, and it cannot observe that
+                    // until the lock is released — after the notify call
+                    // has fully returned.
+                    try {
+                        JobOutcome out =
+                            compute_job(jobs[static_cast<std::size_t>(j)]);
+                        std::lock_guard lock(mu);
+                        ready.emplace(j, std::move(out));
+                        --in_flight;
+                        cv.notify_all();
+                    } catch (...) {
+                        std::lock_guard lock(mu);
+                        if (!first_error)
+                            first_error = std::current_exception();
+                        --in_flight;
+                        cv.notify_all();
+                    }
+                });
+            }
+        };
+
+        try {
+            {
+                std::unique_lock lock(mu);
+                submit_upto_window(jobs_done);
+            }
+            while (jobs_done < end_jobs) {
+                std::optional<JobOutcome> out;
+                {
+                    std::unique_lock lock(mu);
+                    cv.wait(lock, [&] {
+                        return first_error || ready.contains(jobs_done);
+                    });
+                    if (first_error) break;
+                    auto node = ready.extract(jobs_done);
+                    out.emplace(std::move(node.mapped()));
+                    submit_upto_window(jobs_done + 1);
+                }
+                emit_job(jobs[static_cast<std::size_t>(jobs_done)], *out);
+                ++jobs_done;
+                if ((jobs_done - first_job) % cfg.checkpoint_jobs == 0 ||
+                    jobs_done == jobs_total)
+                    checkpoint(jobs_done);
+            }
+        } catch (...) {
+            std::lock_guard lock(mu);
+            if (!first_error) first_error = std::current_exception();
+        }
+        {
+            std::unique_lock lock(mu);
+            cv.wait(lock, [&] { return in_flight == 0; });
+            if (first_error) std::rethrow_exception(first_error);
+        }
     }
 
     result.jobs_done = jobs_done;
     result.instances_done = jobs_done * trials;
-    result.complete = jobs_done == static_cast<long long>(jobs.size());
+    result.complete = jobs_done == jobs_total;
     return result;
+}
+
+// ---------------------------------------------------------------------------
+// In-process parallel shards
+// ---------------------------------------------------------------------------
+
+ParallelCampaignResult run_parallel_campaign(const CampaignConfig& base) {
+    if (base.shard_count < 1)
+        throw std::invalid_argument("campaign: shard count must be >= 1");
+    if (base.directory.empty())
+        throw std::invalid_argument("campaign: no output directory");
+    if (!base.pipeline)
+        throw std::invalid_argument(
+            "campaign: parallel shards require pipeline mode (the barrier "
+            "loop cannot share a worker pool)");
+    const int shards = base.shard_count;
+    const int trials = base.sweep.trials_per_scenario;
+
+    // Aggregated progress: every underlying progress call is exactly one
+    // newly finished instance, so a shared counter over the full grid gives
+    // a monotone campaign-wide (done, total) regardless of which shard's
+    // worker reports.  Resumed shards start from their manifests' counts.
+    const long long grid_instances =
+        static_cast<long long>(grid_jobs(base.sweep).size()) * trials;
+    std::atomic<long long> aggregate_done{0};
+    if (base.resume) {
+        for (int k = 1; k <= shards; ++k) {
+            const auto dir =
+                base.directory / shard_directory_name(k, shards);
+            if (const auto m = read_manifest(dir))
+                aggregate_done += m->instances_done;
+        }
+    }
+
+    util::ThreadPool pool(base.sweep.threads);
+    std::mutex record_mutex;
+
+    std::vector<std::optional<CampaignResult>> results(
+        static_cast<std::size_t>(shards));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(shards));
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<std::size_t>(shards));
+    for (int k = 1; k <= shards; ++k) {
+        drivers.emplace_back([&, k] {
+            const auto slot = static_cast<std::size_t>(k - 1);
+            try {
+                CampaignConfig cfg = base;
+                cfg.shard_index = k;
+                cfg.directory =
+                    base.directory / shard_directory_name(k, shards);
+                cfg.pool = &pool;
+                if (base.sweep.progress)
+                    cfg.sweep.progress = [&](long long, long long) {
+                        base.sweep.progress(aggregate_done.fetch_add(1) + 1,
+                                            grid_instances);
+                    };
+                if (base.sweep.record)
+                    // Each shard's emitter is single-threaded, but N of
+                    // them share the caller's hook.
+                    cfg.sweep.record = [&](const InstanceRecord& rec) {
+                        std::lock_guard lock(record_mutex);
+                        base.sweep.record(rec);
+                    };
+                results[slot].emplace(run_campaign(cfg));
+            } catch (...) {
+                errors[slot] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : drivers) t.join();
+    for (const auto& e : errors)
+        if (e) std::rethrow_exception(e);
+
+    ParallelCampaignResult out;
+    out.complete = true;
+    for (auto& r : results) {
+        out.jobs_total += r->jobs_total;
+        out.jobs_done += r->jobs_done;
+        out.instances_done += r->instances_done;
+        out.complete = out.complete && r->complete;
+        out.shards.push_back(std::move(*r));
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -581,55 +914,6 @@ SweepResult aggregate_records(const SweepConfig& cfg,
     replay_records(result, cfg, grid_jobs(cfg), records, "aggregate");
     return result;
 }
-
-namespace {
-
-/// Streams one shard's records straight off its JSONL file, one line at a
-/// time — the k-way-merge leg that replaces loading whole shards into
-/// memory.  The header is parsed (and fingerprint-verified) on open.
-class ShardStream {
-public:
-    explicit ShardStream(const std::filesystem::path& file)
-        : path_(file), in_(file) {
-        if (!in_)
-            fail("merge: cannot open '" + file.string() + "'");
-        std::string line;
-        if (!std::getline(in_, line))
-            fail("'" + path_.string() + "' is empty");
-        header_ = parse_campaign_header(line);
-    }
-
-    [[nodiscard]] const CampaignHeader& header() const noexcept {
-        return header_;
-    }
-    [[nodiscard]] const std::filesystem::path& path() const noexcept {
-        return path_;
-    }
-
-    /// Next record, or std::nullopt at end of stream.
-    std::optional<InstanceRecord> next() {
-        std::string line;
-        while (std::getline(in_, line)) {
-            if (line.empty()) continue;
-            try {
-                return JsonlSink::parse_record(line);
-            } catch (const std::invalid_argument& e) {
-                fail("'" + path_.string() + "' holds a malformed record (" +
-                     e.what() +
-                     "); was the shard killed without a checkpoint? resume "
-                     "it to self-heal, or delete the torn tail");
-            }
-        }
-        return std::nullopt;
-    }
-
-private:
-    std::filesystem::path path_;
-    std::ifstream in_;
-    CampaignHeader header_;
-};
-
-} // namespace
 
 SweepResult
 merge_shards(const std::vector<std::filesystem::path>& jsonl_files) {

@@ -16,10 +16,11 @@
 ///     grid cells balanced), so the union of shard outputs is exactly the
 ///     unsharded instance set.
 ///
-///  2. *Deterministic emission.*  Jobs run on a thread pool, but records
-///     are written to the sinks in (ordinal, trial) order at batch
-///     boundaries, so a shard's JSONL file is byte-identical across runs
-///     and thread counts.
+///  2. *Deterministic emission.*  Jobs run on a thread pool, but a single
+///     emitter — the only thread that touches the sinks — writes records
+///     strictly in (ordinal, trial) order, so a shard's JSONL file is
+///     byte-identical across runs, thread counts, and execution modes
+///     (pipeline or barrier batches).
 ///
 ///  3. *Canonical aggregation.*  The merge step replays records through the
 ///     exact reduction run_sweep performs (per-job DfbTable built in trial
@@ -43,6 +44,10 @@
 #include "exp/sink.hpp"
 #include "exp/sweep.hpp"
 
+namespace volsched::util {
+class ThreadPool;
+} // namespace volsched::util
+
 namespace volsched::exp {
 
 /// A campaign is a sweep plus sharding, output, and checkpoint knobs.
@@ -64,6 +69,25 @@ struct CampaignConfig {
     /// Stop after this many checkpoint batches (0: run to completion).
     /// Supports time-sliced operation and the kill/resume tests.
     int stop_after_batches = 0;
+    /// Execution mode.  True (default) runs the barrier-free completion
+    /// pipeline: workers pull jobs from a shared cursor and run ahead past
+    /// checkpoint boundaries while the driver thread — the dedicated
+    /// emitter — drains finished jobs strictly in (ordinal, trial) order
+    /// through the sinks, so stragglers stall neither the pool nor the
+    /// I/O overlap.  False keeps the historical barrier loop (parallel_for
+    /// per batch, then serial emit) for same-binary A/B benchmarking.
+    /// Outputs are byte-identical either way.
+    bool pipeline = true;
+    /// Pipeline run-ahead bound, in jobs in flight or finished-but-unemitted
+    /// (i.e. peak buffered records is pipeline_window x trials).  0 picks
+    /// max(checkpoint_jobs, 2 x pool size).
+    int pipeline_window = 0;
+    /// Optional externally owned worker pool, shared between the in-process
+    /// shard drivers of run_parallel_campaign; null makes the campaign
+    /// create its own.  A shared pool requires pipeline mode: the barrier
+    /// loop's parallel_for is a whole-pool barrier and would deadlock or
+    /// serialize other drivers.
+    util::ThreadPool* pool = nullptr;
 };
 
 struct CampaignResult {
@@ -135,6 +159,28 @@ read_manifest(const std::filesystem::path& dir);
 /// std::runtime_error when an existing manifest does not match the
 /// configuration (fingerprint or shard position).
 CampaignResult run_campaign(const CampaignConfig& cfg);
+
+/// All shards of an N-shard campaign driven from one process.
+struct ParallelCampaignResult {
+    std::vector<CampaignResult> shards; ///< in shard_index order, 1..N
+    long long jobs_total = 0;
+    long long jobs_done = 0;
+    long long instances_done = 0;
+    bool complete = false;
+};
+
+/// Runs every shard of the campaign in-process: `base.shard_count` shard
+/// drivers (base.shard_index is ignored), each writing its own sink set and
+/// manifest under `base.directory`/shard-k-of-N, all sharing one worker
+/// pool sized by base.sweep.threads.  Because seeding is shard-invariant
+/// and each shard has its own single-threaded emitter, per-shard outputs
+/// are byte-identical to N separate single-shard processes.  Progress is
+/// aggregated across shards before reaching base.sweep.progress; the
+/// base.sweep.record hook, if any, is serialized across the shard emitters
+/// (records arrive shard-interleaved, each shard in order).  Requires
+/// pipeline mode (the barrier loop cannot share a pool).  The first shard
+/// failure (by shard index) is rethrown after all drivers stop.
+ParallelCampaignResult run_parallel_campaign(const CampaignConfig& base);
 
 /// Canonical aggregation: validates that `records` is exactly the full
 /// grid's instance set (no missing, duplicate, or foreign records; seeds

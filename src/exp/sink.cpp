@@ -172,7 +172,8 @@ CsvSink::CsvSink(std::filesystem::path path,
     : FileResultSink(std::move(path), header_row(heuristics, with_checkpoint)),
       with_checkpoint_(with_checkpoint) {}
 
-std::string CsvSink::format(const InstanceRecord& rec) const {
+std::string CsvSink::format_row(const InstanceRecord& rec,
+                                bool with_checkpoint) {
     std::string out = std::to_string(rec.scenario_ordinal);
     out += ',';
     out += std::to_string(rec.trial);
@@ -190,7 +191,7 @@ std::string CsvSink::format(const InstanceRecord& rec) const {
     out += util::json::number(rec.scenario.tprog_factor);
     out += ',';
     out += std::to_string(rec.scenario.seed);
-    if (with_checkpoint_) {
+    if (with_checkpoint) {
         out += ',';
         out += util::CsvWriter::escape(rec.scenario.checkpoint);
     }
@@ -198,8 +199,11 @@ std::string CsvSink::format(const InstanceRecord& rec) const {
         out += ',';
         out += std::to_string(m);
     }
-    out += '\n';
     return out;
+}
+
+std::string CsvSink::format(const InstanceRecord& rec) const {
+    return format_row(rec, with_checkpoint_) + "\n";
 }
 
 } // namespace volsched::exp

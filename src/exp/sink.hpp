@@ -125,6 +125,11 @@ public:
 
     static std::string header_row(const std::vector<std::string>& heuristics,
                                   bool with_checkpoint = false);
+    /// One record as a CSV row (no trailing newline) — exactly what the
+    /// sink writes; public so `volsched_campaign query --csv` can re-format
+    /// JSONL records without a sink instance.
+    static std::string format_row(const InstanceRecord& rec,
+                                  bool with_checkpoint = false);
 
 protected:
     std::string format(const InstanceRecord& rec) const override;

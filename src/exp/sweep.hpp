@@ -38,11 +38,18 @@ struct SweepConfig {
     std::uint64_t master_seed = 0xC0FFEEULL;
     std::size_t threads = 0; ///< 0: hardware concurrency
     /// Optional progress callback (instances completed, instances total).
+    /// CONCURRENCY: invoked from worker threads, potentially several at
+    /// once — implementations must be thread-safe and cheap (every
+    /// instance reports; rate-limit any output.  The tools use an atomic
+    /// last-print timestamp for this).
     std::function<void(long long, long long)> progress;
     /// Optional raw-result hook, called once per instance with the full
     /// InstanceRecord (scenario, grid ordinal, trial, per-heuristic
-    /// makespans).  Serialized by the driver: implementations need no
-    /// locking.  Wire a ResultSink here to export full distributions:
+    /// makespans).  Serialized by the driver — run_sweep and each
+    /// campaign's single emitter thread call it from one thread at a time,
+    /// and run_parallel_campaign wraps it in a shared mutex across its
+    /// shard emitters — so implementations need no locking.  Wire a
+    /// ResultSink here to export full distributions:
     ///   cfg.record = [&](const InstanceRecord& r) { sink.write(r); };
     std::function<void(const InstanceRecord&)> record;
 };

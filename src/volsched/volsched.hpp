@@ -61,6 +61,7 @@
 
 #include "exp/campaign.hpp"
 #include "exp/dfb.hpp"
+#include "exp/index_sink.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/shape.hpp"

@@ -7,18 +7,26 @@
 ///
 ///   volsched_campaign run    --out camp --shard 1/4 --scenarios 247 --trials 10
 ///   volsched_campaign run    --out camp --shard 1/4        # again: resumes
+///   volsched_campaign run    --out camp --parallel 4       # all 4 in-process
 ///   volsched_campaign status --out camp
 ///   volsched_campaign merge  --out camp --breakdown
+///   volsched_campaign query  --out camp --wmin 2-4 --tasks 10
 ///   volsched_campaign run    --out smoke --smoke            # tiny CI grid
 ///
 /// Every shard directory (<out>/shard-k-of-N/) is self-describing: the
 /// first JSONL line carries the full grid configuration and a fingerprint,
-/// so merge and status need no flags beyond --out.  See API.md
-/// ("Campaigns") for the sharding and resume contracts.
+/// so merge, status, and query need no flags beyond --out.  See API.md
+/// ("Campaigns") for the sharding, resume, and index contracts.
+// volsched-lint: allow-file(wall-clock): progress/ETA display only — never
+// feeds records or tables
 
+#include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +61,70 @@ bool parse_shard(const std::string& text, int& index, int& count) {
     return parse_int_strict(std::string_view(text).substr(0, slash), index) &&
            parse_int_strict(std::string_view(text).substr(slash + 1), count);
 }
+
+bool parse_ll_strict(std::string_view text, long long& out) {
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && end == text.data() + text.size();
+}
+
+/// Inclusive range flag: "7" (a single value) or "2-5".
+bool parse_range(const std::string& text, long long& lo, long long& hi) {
+    const auto dash = text.find('-', 1); // a leading '-' is just a sign
+    if (dash == std::string::npos) {
+        if (!parse_ll_strict(text, lo)) return false;
+        hi = lo;
+        return true;
+    }
+    return parse_ll_strict(std::string_view(text).substr(0, dash), lo) &&
+           parse_ll_strict(std::string_view(text).substr(dash + 1), hi) &&
+           lo <= hi;
+}
+
+/// Rate-limited progress line with throughput and ETA.  report() is invoked
+/// concurrently from worker threads (see SweepConfig::progress); an atomic
+/// last-print stamp admits one printer per interval without a lock, and the
+/// instance count at the first report anchors the rate so resumed work is
+/// not counted as instantaneous progress.
+class ProgressPrinter {
+public:
+    ProgressPrinter() : start_(std::chrono::steady_clock::now()) {}
+
+    void report(long long done, long long total) {
+        const long long ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        long long base = base_done_.load(std::memory_order_relaxed);
+        if (base < 0) {
+            base_done_.compare_exchange_strong(base, done - 1);
+            base = base_done_.load(std::memory_order_relaxed);
+        }
+        const bool final = done == total;
+        if (!final) {
+            long long last = last_print_ms_.load(std::memory_order_relaxed);
+            if (ms - last < kIntervalMs) return;
+            if (!last_print_ms_.compare_exchange_strong(last, ms)) return;
+        }
+        const double secs = static_cast<double>(ms) / 1000.0;
+        const double rate =
+            secs > 0.0 ? static_cast<double>(done - base) / secs : 0.0;
+        if (rate > 0.0 && total > done)
+            std::fprintf(stderr, "\r%lld/%lld instances  %.1f/s  ETA %llds  ",
+                         done, total, rate,
+                         static_cast<long long>(
+                             static_cast<double>(total - done) / rate));
+        else
+            std::fprintf(stderr, "\r%lld/%lld instances  ", done, total);
+        if (final) std::fputc('\n', stderr);
+    }
+
+private:
+    static constexpr long long kIntervalMs = 500;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<long long> last_print_ms_{-kIntervalMs};
+    std::atomic<long long> base_done_{-1};
+};
 
 void print_tables(const exp::SweepResult& result, bool breakdown) {
     benchtool::print_dfb_table("overall — all problem instances",
@@ -109,6 +181,16 @@ int cmd_run(int argc, char** argv) {
     // --checkpoints/--checkpoint-cost recovery-policy flags above.
     cli.add_int("checkpoint-every", 8, "jobs per durable manifest checkpoint");
     cli.add_int("batches", 0, "stop after this many checkpoints (0: all)");
+    cli.add_int("parallel", 0,
+                "drive all N shards of an N-way campaign from this process "
+                "over one shared worker pool (replaces --shard; 0: off)");
+    cli.add_flag("barrier-loop",
+                 "use the historical per-batch barrier loop instead of the "
+                 "streaming pipeline (A/B debugging; outputs are "
+                 "byte-identical)");
+    cli.add_int("pipeline-window", 0,
+                "pipeline run-ahead bound in jobs (0: auto-size to "
+                "max(checkpoint cadence, 2 x pool size))");
     cli.add_flag("no-event-core",
                  "step every slot through the reference loop instead of the "
                  "event-driven core (results are identical either way)");
@@ -186,6 +268,21 @@ int cmd_run(int argc, char** argv) {
         std::fprintf(stderr, "run: --shard wants k/N, e.g. --shard 2/4\n");
         return 2;
     }
+    const int parallel = static_cast<int>(cli.get_int("parallel"));
+    if (parallel < 0) {
+        std::fprintf(stderr, "run: --parallel wants a shard count >= 1\n");
+        return 2;
+    }
+    if (parallel > 0 && (shard_index != 1 || shard_count != 1)) {
+        std::fprintf(stderr, "run: --parallel drives every shard; it cannot "
+                             "be combined with --shard\n");
+        return 2;
+    }
+    if (parallel > 0 && cli.get_flag("barrier-loop")) {
+        std::fprintf(stderr, "run: --barrier-loop cannot share a worker "
+                             "pool; it is incompatible with --parallel\n");
+        return 2;
+    }
 
     try {
         auto campaign = experiment.campaign()
@@ -198,15 +295,41 @@ int cmd_run(int argc, char** argv) {
                                                             "checkpoint-every")))
                             .csv(cli.get_flag("csv"))
                             .stop_after_batches(
-                                static_cast<int>(cli.get_int("batches")));
+                                static_cast<int>(cli.get_int("batches")))
+                            .pipeline(!cli.get_flag("barrier-loop"))
+                            .pipeline_window(static_cast<int>(
+                                cli.get_int("pipeline-window")));
         if (cli.get_flag("fresh")) campaign.fresh();
-        if (!cli.get_flag("quiet"))
-            campaign.progress([](long long done, long long total) {
-                if (done == total || done % 50 == 0)
-                    std::fprintf(stderr, "\r%lld/%lld instances", done,
-                                 total);
-                if (done == total) std::fputc('\n', stderr);
+        if (!cli.get_flag("quiet")) {
+            auto printer = std::make_shared<ProgressPrinter>();
+            campaign.progress([printer](long long done, long long total) {
+                printer->report(done, total);
             });
+        }
+
+        if (parallel > 0) {
+            campaign.parallel(parallel);
+            const auto outcome = campaign.run_parallel();
+            for (std::size_t k = 0; k < outcome.shards.size(); ++k) {
+                const auto& shard = outcome.shards[k];
+                std::printf("shard %zu/%d: %lld/%lld jobs "
+                            "(%lld instances) -> %s\n",
+                            k + 1, parallel, shard.jobs_done,
+                            shard.jobs_total, shard.instances_done,
+                            shard.jsonl_path.string().c_str());
+            }
+            std::printf("campaign: %lld/%lld jobs (%lld instances) across "
+                        "%d in-process shards\n",
+                        outcome.jobs_done, outcome.jobs_total,
+                        outcome.instances_done, parallel);
+            if (!outcome.complete) {
+                std::printf("stopped at a checkpoint; re-run the same "
+                            "command to continue\n");
+                return 3;
+            }
+            std::printf("all shards complete\n");
+            return 0;
+        }
 
         const auto outcome = campaign.run();
         std::printf("shard %d/%d: %lld/%lld jobs (%lld instances) -> %s\n",
@@ -219,6 +342,111 @@ int cmd_run(int argc, char** argv) {
             return 3;
         }
         std::printf("shard complete\n");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
+
+int cmd_query(int argc, char** argv) {
+    util::Cli cli("volsched_campaign query",
+                  "select records by grid axes through the sidecar index");
+    cli.add_string("out", "", "campaign root directory (required)");
+    cli.add_string("ordinal", "",
+                   "scenario-ordinal filter, N or A-B (inclusive)");
+    cli.add_string("wmin", "", "wmin filter, N or A-B (inclusive)");
+    cli.add_string("tasks", "", "tasks-per-iteration filter, N or A-B");
+    cli.add_string("ncom", "", "master-concurrency filter, N or A-B");
+    cli.add_flag("csv", "emit a CSV table instead of raw JSONL lines");
+    cli.add_string("output", "", "write records here instead of stdout");
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    if (cli.get_string("out").empty()) {
+        std::fprintf(stderr, "query: --out is required\n");
+        return 2;
+    }
+
+    exp::QueryFilter filter;
+    const auto axis = [&](const char* name,
+                          auto& slot) -> bool { // false on a bad flag
+        const std::string& text = cli.get_string(name);
+        if (text.empty()) return true;
+        long long lo = 0, hi = 0;
+        if (!parse_range(text, lo, hi) || lo < 0) {
+            std::fprintf(stderr,
+                         "query: --%s wants N or A-B (non-negative, "
+                         "inclusive)\n",
+                         name);
+            return false;
+        }
+        using limit_t = decltype(slot->first);
+        slot.emplace(static_cast<limit_t>(lo), static_cast<limit_t>(hi));
+        return true;
+    };
+    if (!axis("ordinal", filter.ordinal) || !axis("wmin", filter.wmin) ||
+        !axis("tasks", filter.tasks) || !axis("ncom", filter.ncom))
+        return 2;
+
+    try {
+        const auto dirs =
+            exp::find_shard_directories(cli.get_string("out"));
+        if (dirs.empty()) {
+            std::fprintf(stderr, "query: no shard directories under '%s'\n",
+                         cli.get_string("out").c_str());
+            return 1;
+        }
+        std::vector<std::filesystem::path> files;
+        files.reserve(dirs.size());
+        for (const auto& dir : dirs) files.push_back(dir / "records.jsonl");
+
+        std::FILE* dest = stdout;
+        if (const auto& path = cli.get_string("output"); !path.empty()) {
+            dest = std::fopen(path.c_str(), "wb");
+            if (!dest) {
+                std::fprintf(stderr, "query: cannot open '%s'\n",
+                             path.c_str());
+                return 1;
+            }
+        }
+
+        const bool as_csv = cli.get_flag("csv");
+        bool with_checkpoint = false;
+        if (as_csv) {
+            // The self-describing shard header names the heuristic columns.
+            std::ifstream first(files.front());
+            std::string header_line;
+            std::getline(first, header_line);
+            const auto header = exp::parse_campaign_header(header_line);
+            with_checkpoint =
+                header.sweep.checkpoint_values.size() != 1 ||
+                header.sweep.checkpoint_values.front() != "none";
+            std::fprintf(dest, "%s\n",
+                         exp::CsvSink::header_row(header.heuristics,
+                                                  with_checkpoint)
+                             .c_str());
+        }
+
+        const auto stats = exp::query_shards(
+            files, filter, [&](const std::string& line) {
+                if (as_csv) {
+                    const auto rec = exp::JsonlSink::parse_record(line);
+                    std::fprintf(dest, "%s\n",
+                                 exp::CsvSink::format_row(rec,
+                                                          with_checkpoint)
+                                     .c_str());
+                } else {
+                    std::fprintf(dest, "%s\n", line.c_str());
+                }
+            });
+        if (dest != stdout) std::fclose(dest);
+        std::fprintf(stderr, "matched %llu record(s) across %zu shard(s)",
+                     static_cast<unsigned long long>(stats.matched),
+                     files.size());
+        if (stats.indexes_rebuilt > 0)
+            std::fprintf(stderr, "; rebuilt %d stale or missing index(es)",
+                         stats.indexes_rebuilt);
+        std::fputc('\n', stderr);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
@@ -330,14 +558,18 @@ void usage() {
     std::puts("volsched_campaign — sharded, resumable sweep campaigns\n"
               "\n"
               "subcommands:\n"
-              "  run     run (or resume) one shard; writes\n"
-              "          <out>/shard-k-of-N/{records.jsonl,MANIFEST}\n"
+              "  run     run (or resume) one shard (or, with --parallel N,\n"
+              "          all N shards in-process); writes\n"
+              "          <out>/shard-k-of-N/{records.jsonl,records.idx,\n"
+              "          MANIFEST}\n"
               "  merge   combine all shard outputs into the dfb tables\n"
               "  status  per-shard progress from the checkpoint manifests\n"
+              "  query   select records by ordinal/wmin/tasks/ncom ranges\n"
+              "          through the sidecar index, as JSONL or CSV\n"
               "\n"
               "volsched_campaign <subcommand> --help lists its options.\n"
-              "The sharding and resume contracts are documented in API.md\n"
-              "(\"Campaigns\").");
+              "The sharding, resume, and index contracts are documented in\n"
+              "API.md (\"Campaigns\").");
 }
 
 } // namespace
@@ -352,6 +584,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc - 1, argv + 1);
     if (cmd == "merge") return cmd_merge(argc - 1, argv + 1);
     if (cmd == "status") return cmd_status(argc - 1, argv + 1);
+    if (cmd == "query") return cmd_query(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown subcommand '%s'\n\n", argv[1]);
     usage();
     return 2;
