@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""check_trace.py — validate a volsched Chrome-trace JSON file.
+
+`volsched_sim --trace-out FILE` (and SimulationBuilder::trace) emit the
+Chrome trace-event format that Perfetto / chrome://tracing load.  This
+script pins the contract CI relies on, stdlib-only:
+
+  - the document parses as JSON and is {"traceEvents": [...], ...} with
+    displayTimeUnit "ms";
+  - traceEvents is non-empty, every event carries name/ph/ts/pid/tid;
+  - phases are limited to M (metadata), X (complete span), i (instant);
+  - all metadata events precede all trace events (viewers honor
+    thread_name inconsistently otherwise);
+  - instants carry scope "t"; complete spans carry an integer dur >= 0;
+  - timestamps are monotone in file order (the writer sorts);
+  - X spans on one tid never overlap (overlap renders as bogus nesting).
+
+Exit status: 0 valid, 1 violations found, 2 usage/IO error.
+
+Usage:
+  scripts/check_trace.py TRACE.json [--min-events N] [-q]
+  scripts/check_trace.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = {"M", "X", "i"}
+REQUIRED = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate(doc, min_events):
+    """Returns a list of violation strings (empty when valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("displayTimeUnit") != "ms":
+        errors.append("displayTimeUnit missing or not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents missing or not an array"]
+
+    seen_non_meta = 0
+    prev_ts = None
+    track_end = {}  # tid -> end ts of the last X span on that track
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [k for k in REQUIRED if k not in ev]
+        if missing:
+            errors.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in PHASES:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        if ph == "M":
+            if seen_non_meta:
+                errors.append(f"{where}: metadata event after trace events")
+            continue
+        seen_non_meta += 1
+        ts = ev["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            errors.append(f"{where}: ts {ts!r} is not a non-negative int")
+            continue
+        if prev_ts is not None and ts < prev_ts:
+            errors.append(f"{where}: ts {ts} < previous ts {prev_ts} "
+                          f"(file order must be sorted)")
+        prev_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errors.append(f"{where}: X span dur {dur!r} is not a "
+                              f"non-negative int")
+                continue
+            tid = ev["tid"]
+            end = track_end.get(tid)
+            if end is not None and ts < end:
+                errors.append(f"{where}: span on tid {tid} starts at {ts} "
+                              f"before the previous span ends at {end}")
+            track_end[tid] = max(end or 0, ts + dur)
+        else:  # instant
+            if ev.get("s") != "t":
+                errors.append(f"{where}: instant without scope 's':'t'")
+    if seen_non_meta < min_events:
+        errors.append(f"only {seen_non_meta} trace event(s), expected at "
+                      f"least {min_events}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+
+def _meta(tid, name):
+    return {"name": "thread_name", "ph": "M", "ts": 0, "pid": 0, "tid": tid,
+            "args": {"name": name}}
+
+
+def self_test():
+    ok = [
+        _meta(0, "engine"),
+        {"name": "up", "ph": "X", "ts": 0, "pid": 0, "tid": 1, "dur": 5},
+        {"name": "sched round", "ph": "i", "ts": 2, "pid": 0, "tid": 0,
+         "s": "t"},
+        {"name": "up", "ph": "X", "ts": 5, "pid": 0, "tid": 1, "dur": 3},
+    ]
+    cases = [
+        ("valid trace accepted",
+         {"traceEvents": ok, "displayTimeUnit": "ms"}, 0),
+        ("empty traceEvents rejected",
+         {"traceEvents": [], "displayTimeUnit": "ms"}, 1),
+        ("missing displayTimeUnit rejected", {"traceEvents": ok}, 1),
+        ("unknown phase rejected",
+         {"traceEvents": ok + [{"name": "b", "ph": "B", "ts": 9, "pid": 0,
+                                "tid": 0}],
+          "displayTimeUnit": "ms"}, 1),
+        ("missing field rejected",
+         {"traceEvents": ok + [{"ph": "i", "ts": 9, "pid": 0, "tid": 0,
+                                "s": "t"}],
+          "displayTimeUnit": "ms"}, 1),
+        ("ts regression rejected",
+         {"traceEvents": ok + [{"name": "late", "ph": "i", "ts": 1,
+                                "pid": 0, "tid": 0, "s": "t"}],
+          "displayTimeUnit": "ms"}, 1),
+        ("overlapping spans on one tid rejected",
+         {"traceEvents": ok + [{"name": "up", "ph": "X", "ts": 6, "pid": 0,
+                                "tid": 1, "dur": 4}],
+          "displayTimeUnit": "ms"}, 1),
+        ("negative dur rejected",
+         {"traceEvents": [_meta(0, "engine"),
+                          {"name": "x", "ph": "X", "ts": 0, "pid": 0,
+                           "tid": 1, "dur": -1}],
+          "displayTimeUnit": "ms"}, 1),
+        ("late metadata rejected",
+         {"traceEvents": ok + [_meta(5, "late")],
+          "displayTimeUnit": "ms"}, 1),
+        ("instant without scope rejected",
+         {"traceEvents": [_meta(0, "engine"),
+                          {"name": "x", "ph": "i", "ts": 0, "pid": 0,
+                           "tid": 0}],
+          "displayTimeUnit": "ms"}, 1),
+    ]
+    failures = 0
+    for what, doc, want_errors in cases:
+        errors = validate(doc, min_events=1)
+        passed = bool(errors) == bool(want_errors)
+        print(("  ok  " if passed else "  FAIL") + f"  {what}")
+        if not passed:
+            failures += 1
+    print(f"check_trace --self-test: {'FAILED' if failures else 'passed'}")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        prog="check_trace.py",
+        description="validate a volsched --trace-out Chrome trace JSON")
+    parser.add_argument("trace", nargs="?", help="trace JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum non-metadata events (default 1)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the validator against synthesized good "
+                             "and bad traces")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.error("a trace file (or --self-test) is required")
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"check_trace: {args.trace} is not JSON: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(doc, args.min_events)
+    for e in errors:
+        print(f"check_trace: {args.trace}: {e}")
+    if errors:
+        print(f"check_trace: {len(errors)} violation(s)")
+        return 1
+    if not args.quiet:
+        n = len(doc["traceEvents"])
+        print(f"check_trace: {args.trace}: {n} events, valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,11 @@ CampaignBuilder& CampaignBuilder::pipeline_window(int jobs) {
     return *this;
 }
 
+CampaignBuilder& CampaignBuilder::heartbeat(bool on) {
+    config_.heartbeat = on;
+    return *this;
+}
+
 CampaignBuilder& CampaignBuilder::parallel(int shard_count) {
     config_.shard_count = shard_count;
     return *this;

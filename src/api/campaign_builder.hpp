@@ -52,6 +52,10 @@ public:
     /// Pipeline run-ahead bound in jobs; 0 (default) auto-sizes to
     /// max(checkpoint cadence, 2 x pool size).
     CampaignBuilder& pipeline_window(int jobs);
+    /// Keep an atomically-replaced status.json heartbeat in each shard
+    /// directory (exp/status.hpp) for `volsched_campaign status` and other
+    /// observers.  Off by default; results are identical either way.
+    CampaignBuilder& heartbeat(bool on = true);
     /// Sets the shard count for run_parallel(): all N shards driven from
     /// this process over one shared worker pool.
     CampaignBuilder& parallel(int shard_count);

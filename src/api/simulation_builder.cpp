@@ -180,6 +180,11 @@ SimulationBuilder& SimulationBuilder::actions(sim::ActionTrace* at) {
     return *this;
 }
 
+SimulationBuilder& SimulationBuilder::trace(obs::TraceRecorder* rec) {
+    config_.tracer = rec;
+    return *this;
+}
+
 SimulationBuilder& SimulationBuilder::checkpoint(const std::string& spec) {
     // Resolves eagerly: a typo fails here with the checkpoint registry's
     // did-you-mean message, not at build().

@@ -120,6 +120,11 @@ public:
     SimulationBuilder& events(sim::EventLog* log);
     SimulationBuilder& timeline(sim::Timeline* tl);
     SimulationBuilder& actions(sim::ActionTrace* at);
+    /// Attaches a sim-time tracer (obs/trace.hpp; not owned, may be null):
+    /// the run is recorded as per-worker spans exportable as
+    /// Perfetto-loadable Chrome trace JSON.  Observer-only — attaching a
+    /// tracer leaves every other output byte-identical.
+    SimulationBuilder& trace(obs::TraceRecorder* rec);
 
     /// Attaches a checkpoint/restart policy by registry spec — "none",
     /// "periodic20", "daly", "risk(percent=25)", ... (ckpt/registry.hpp;

@@ -40,6 +40,13 @@ public:
 
     [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
+    /// Forwards the inner heuristic's cache counters — the wrapper filters
+    /// eligibility, the inner scheduler does the (possibly memoized)
+    /// scoring.
+    [[nodiscard]] sim::SchedulerCounters counters() const override {
+        return inner_->counters();
+    }
+
 private:
     std::unique_ptr<sim::Scheduler> inner_;
     double threshold_;
@@ -58,6 +65,10 @@ public:
         pins_.repin(cache_, view);
     }
     [[nodiscard]] std::string_view name() const override { return "hybrid"; }
+
+    [[nodiscard]] sim::SchedulerCounters counters() const override {
+        return {cache_.hits(), cache_.misses(), cache_.invalidations()};
+    }
 
 private:
     markov::ExpectationCache cache_;

@@ -65,6 +65,12 @@ public:
         return cache_;
     }
 
+    /// Memoization counters for RunMetrics / --metrics-json (observational
+    /// only; the cached path scores bit-identically to the scalar path).
+    [[nodiscard]] sim::SchedulerCounters counters() const override {
+        return {cache_.hits(), cache_.misses(), cache_.invalidations()};
+    }
+
 protected:
     GreedyScheduler(std::string base_name, bool starred);
 

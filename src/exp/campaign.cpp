@@ -17,6 +17,9 @@
 #include "api/registry.hpp"
 #include "ckpt/registry.hpp"
 #include "exp/index_sink.hpp"
+#include "exp/status.hpp"
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/atomic_io.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -29,6 +32,10 @@ namespace {
 [[noreturn]] void fail(const std::string& what) {
     throw std::runtime_error("campaign: " + what);
 }
+
+/// Minimum wall-clock between steady-state heartbeat writes (checkpoint
+/// and completion writes are unconditional).
+constexpr std::int64_t kHeartbeatIntervalMs = 500;
 
 const char* plan_class_name(sim::SchedulerClass c) {
     switch (c) {
@@ -598,6 +605,68 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     if (!cfg.pool) owned_pool.emplace(cfg.sweep.threads);
     util::ThreadPool& pool = cfg.pool ? *cfg.pool : *owned_pool;
 
+    // Observability (all observer-only; outputs are byte-identical with or
+    // without it): pipeline occupancy gauges and stage wall-time histograms
+    // into the process registry when a driver installed one, plus the
+    // per-shard status.json heartbeat.  Gauges move by deltas because
+    // parallel shards share them.
+    obs::Registry* const reg = obs::Registry::active();
+    obs::Gauge* const g_queue =
+        reg ? &reg->gauge("campaign.queue_depth") : nullptr;
+    obs::Gauge* const g_lag =
+        reg ? &reg->gauge("campaign.emitter_lag") : nullptr;
+    obs::Gauge* const g_window =
+        reg ? &reg->gauge("campaign.window") : nullptr;
+    obs::Histogram* const h_run =
+        reg ? &reg->histogram("campaign.run_us") : nullptr;
+    obs::Histogram* const h_serialize =
+        reg ? &reg->histogram("campaign.serialize_us") : nullptr;
+    obs::Histogram* const h_fsync =
+        reg ? &reg->histogram("campaign.fsync_us") : nullptr;
+    const bool timed = cfg.heartbeat || reg != nullptr;
+    obs::Histogram stage_run, stage_serialize, stage_fsync;
+    const auto stage_sample = [timed](obs::Histogram& local,
+                                      obs::Histogram* global,
+                                      std::int64_t start_us) {
+        if (!timed) return;
+        const std::int64_t us = obs::now_us() - start_us;
+        local.observe(us);
+        if (global) global->observe(us);
+    };
+    // Heartbeat pipeline-occupancy shadows (atomics: workers bump the
+    // queue, the driver reads them when writing the heartbeat).
+    std::atomic<long long> hb_queue{0};
+    std::atomic<long long> hb_lag{0};
+    long long hb_window = 0;
+    std::int64_t last_heartbeat_ms = 0; // driver thread only
+    const auto stage_stats = [](const obs::Histogram& h) {
+        return StageStats{h.count(), h.sum(), h.max()};
+    };
+    auto write_heartbeat = [&](const char* state) {
+        if (!cfg.heartbeat) return;
+        ShardStatus s;
+        s.shard = cfg.shard_index;
+        s.shards = cfg.shard_count;
+        s.jobs_done = jobs_done;
+        s.jobs_total = jobs_total;
+        s.instances_done = instances_done.load();
+        s.queue_depth = hb_queue.load();
+        s.emitter_lag = hb_lag.load();
+        s.window = hb_window;
+        s.state = state;
+        s.run = stage_stats(stage_run);
+        s.serialize = stage_stats(stage_serialize);
+        s.fsync = stage_stats(stage_fsync);
+        write_status(cfg.directory, s);
+        last_heartbeat_ms = obs::now_ms();
+    };
+    auto heartbeat_tick = [&] { // driver thread, between emissions
+        if (!cfg.heartbeat) return;
+        if (obs::now_ms() - last_heartbeat_ms < kHeartbeatIntervalMs) return;
+        write_heartbeat("running");
+    };
+    write_heartbeat("running");
+
     // Per-job compute, shared verbatim by both execution modes; runs on
     // worker threads, touches no sink.
     struct JobOutcome {
@@ -605,6 +674,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         std::vector<InstanceRecord> records;
     };
     auto compute_job = [&](const GridJob& job) {
+        const std::int64_t start_us = timed ? obs::now_us() : 0;
         JobOutcome out{DfbTable(num_heuristics), {}};
         const RealizedScenario rs = realize(job.scenario);
         out.records.reserve(static_cast<std::size_t>(trials));
@@ -627,6 +697,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
             if (cfg.sweep.progress)
                 cfg.sweep.progress(done, shard_instances_total);
         }
+        stage_sample(stage_run, h_run, start_us);
         return out;
     };
 
@@ -634,6 +705,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     // regardless of which worker finished first.  Only ever called from
     // the driver thread — the single writer every ResultSink expects.
     auto emit_job = [&](const GridJob& job, JobOutcome& out) {
+        const std::int64_t start_us = timed ? obs::now_us() : 0;
         for (const InstanceRecord& rec : out.records) {
             index.add(rec.scenario_ordinal, rec.trial, jsonl.offset());
             jsonl.write(rec);
@@ -641,11 +713,13 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
             if (cfg.sweep.record) cfg.sweep.record(rec);
         }
         merge_job_tables(result.tables, job.scenario, out.local);
+        stage_sample(stage_serialize, h_serialize, start_us);
     };
 
     // Durable checkpoint: sink bytes hit the disk before the manifest
     // vouches for them.
     auto checkpoint = [&](long long done_now) {
+        const std::int64_t start_us = timed ? obs::now_us() : 0;
         jsonl.flush();
         if (csv) csv->flush();
         index.flush(jsonl.offset());
@@ -655,6 +729,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         manifest.csv_bytes = csv ? csv->offset() : 0;
         manifest.complete = done_now == jobs_total;
         write_manifest(cfg.directory, manifest);
+        stage_sample(stage_fsync, h_fsync, start_us);
+        write_heartbeat("running");
     };
 
     if (!cfg.pipeline) {
@@ -707,6 +783,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                 : std::max<long long>(
                       cfg.checkpoint_jobs,
                       2 * static_cast<long long>(pool.size()));
+        hb_window = window;
+        if (g_window) g_window->add(window);
 
         std::mutex mu;
         std::condition_variable cv;
@@ -723,6 +801,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                    next_submit - emitted < window) {
                 const long long j = next_submit++;
                 ++in_flight;
+                hb_lag.fetch_add(1, std::memory_order_relaxed);
+                if (g_lag) g_lag->add(1);
                 pool.submit([&, j] {
                     // notify_all happens *under* `mu`: the driver destroys
                     // `cv` (by unwinding this stack frame) the moment it
@@ -735,6 +815,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                         std::lock_guard lock(mu);
                         ready.emplace(j, std::move(out));
                         --in_flight;
+                        hb_queue.fetch_add(1, std::memory_order_relaxed);
+                        if (g_queue) g_queue->add(1);
                         cv.notify_all();
                     } catch (...) {
                         std::lock_guard lock(mu);
@@ -762,13 +844,18 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                     if (first_error) break;
                     auto node = ready.extract(jobs_done);
                     out.emplace(std::move(node.mapped()));
+                    hb_queue.fetch_add(-1, std::memory_order_relaxed);
+                    if (g_queue) g_queue->add(-1);
                     submit_upto_window(jobs_done + 1);
                 }
                 emit_job(jobs[static_cast<std::size_t>(jobs_done)], *out);
+                hb_lag.fetch_add(-1, std::memory_order_relaxed);
+                if (g_lag) g_lag->add(-1);
                 ++jobs_done;
                 if ((jobs_done - first_job) % cfg.checkpoint_jobs == 0 ||
                     jobs_done == jobs_total)
                     checkpoint(jobs_done);
+                heartbeat_tick();
             }
         } catch (...) {
             std::lock_guard lock(mu);
@@ -777,10 +864,12 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         {
             std::unique_lock lock(mu);
             cv.wait(lock, [&] { return in_flight == 0; });
+            if (g_window) g_window->add(-window);
             if (first_error) std::rethrow_exception(first_error);
         }
     }
 
+    write_heartbeat(jobs_done == jobs_total ? "done" : "stopped");
     result.jobs_done = jobs_done;
     result.instances_done = jobs_done * trials;
     result.complete = jobs_done == jobs_total;

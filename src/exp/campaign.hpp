@@ -88,6 +88,12 @@ struct CampaignConfig {
     /// loop's parallel_for is a whole-pool barrier and would deadlock or
     /// serialize other drivers.
     util::ThreadPool* pool = nullptr;
+    /// Keep an atomically-replaced status.json heartbeat in the shard
+    /// directory (exp/status.hpp): live progress, pipeline occupancy, and
+    /// wall-clock stage timings for `volsched_campaign status` and other
+    /// observers.  Purely operational — results are byte-identical with the
+    /// heartbeat on or off.
+    bool heartbeat = false;
 };
 
 struct CampaignResult {

@@ -1,0 +1,62 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+
+namespace volsched::obs {
+
+void Histogram::observe(long long v) noexcept {
+    if (v < 0) v = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    long long prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    const int b = std::bit_width(static_cast<unsigned long long>(v));
+    buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::string Registry::to_json() const {
+    std::lock_guard lock(mutex_);
+    std::string out = "{";
+    bool first = true;
+    const auto field = [&](const std::string& name, std::string value) {
+        if (!first) out += ',';
+        first = false;
+        out += '"' + name + "\":" + value;
+    };
+    for (const auto& [name, c] : counters_)
+        field(name, std::to_string(c->value()));
+    for (const auto& [name, g] : gauges_)
+        field(name, std::to_string(g->value()));
+    for (const auto& [name, h] : histograms_)
+        field(name, "{\"count\":" + std::to_string(h->count()) +
+                        ",\"sum\":" + std::to_string(h->sum()) +
+                        ",\"max\":" + std::to_string(h->max()) + "}");
+    out += '}';
+    return out;
+}
+
+} // namespace volsched::obs

@@ -1,0 +1,140 @@
+#pragma once
+/// \file registry.hpp
+/// Process-wide instrumentation registry: named counters, gauges, and
+/// histograms for operational visibility (campaign pipeline occupancy,
+/// stage wall-times, cache pressure).  Everything here is *observer-only*
+/// and zero-overhead when disabled:
+///
+///  - No registry is installed by default.  `Registry::active()` returns
+///    null until a driver (a tool's main, a test) calls `install()`, so
+///    instrumented code paths cost one relaxed atomic load + branch.
+///  - Metric objects are plain atomics; recording is wait-free and never
+///    allocates.  Handles returned by `counter()`/`gauge()`/`histogram()`
+///    are stable for the registry's lifetime — call sites resolve a name
+///    once and keep the pointer.
+///  - Nothing in this layer reads a clock (see obs/stopwatch.hpp for the
+///    one sanctioned monotonic-clock seam) and nothing here may ever feed
+///    simulation results: metrics describe the run, they must not steer it.
+///    That is the determinism rulebook's carve-out contract
+///    (ARCHITECTURE.md, "How tracing preserves determinism").
+///
+/// Name lookup uses an ordered std::map (rulebook R2: no unordered
+/// iteration where output is produced) so `to_json()` renders metrics in a
+/// deterministic byte order.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace volsched::obs {
+
+/// Monotone event count.  add() is wait-free; value() is a relaxed read
+/// (observers tolerate slightly stale totals).
+class Counter {
+public:
+    void add(long long delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins level (queue depth, window occupancy).  add() supports
+/// delta-tracking gauges shared by several writers (parallel shards).
+class Gauge {
+public:
+    void set(long long v) noexcept {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(long long delta) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<long long> value_{0};
+};
+
+/// Power-of-two-bucket histogram over non-negative integer samples
+/// (microsecond stage timings).  observe() is wait-free; count/sum/max and
+/// the bucket array are independently relaxed — observers may see a sample
+/// in one aggregate before another, which is fine for dashboards and
+/// deliberately unsuitable for anything result-bearing.
+class Histogram {
+public:
+    /// Bucket b counts samples with bit_width(v) == b, i.e. v in
+    /// [2^(b-1), 2^b); bucket 0 counts zero.
+    static constexpr int kBuckets = 63;
+
+    void observe(long long v) noexcept;
+
+    [[nodiscard]] long long count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long max() const noexcept {
+        return max_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long bucket(int b) const noexcept {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<long long> count_{0};
+    std::atomic<long long> sum_{0};
+    std::atomic<long long> max_{0};
+    std::atomic<long long> buckets_[kBuckets] = {};
+};
+
+/// Named metric directory.  Registration (the first lookup of a name) takes
+/// a mutex; the returned references stay valid and lock-free to record into
+/// for the registry's lifetime.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// All metrics as one JSON object (integer fields only), names sorted:
+    /// counters/gauges as {"name":value}, histograms as
+    /// {"name":{"count":c,"sum":s,"max":m}}.
+    [[nodiscard]] std::string to_json() const;
+
+    /// The process-global seam.  Null (the default) means "observability
+    /// off"; instrumented sites must null-check and may cache metric
+    /// pointers only while the same registry stays installed.
+    static Registry* active() noexcept {
+        return active_.load(std::memory_order_acquire);
+    }
+    /// Installs `r` (or null to disable) and returns the previous registry.
+    static Registry* install(Registry* r) noexcept {
+        return active_.exchange(r, std::memory_order_acq_rel);
+    }
+
+private:
+    static inline std::atomic<Registry*> active_{nullptr};
+
+    mutable std::mutex mutex_;
+    // node-based maps: stable addresses across later registrations.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+} // namespace volsched::obs

@@ -1,0 +1,25 @@
+// volsched-lint: allow-file(wall-clock): the one sanctioned monotonic-clock
+// seam — interval timing for progress/heartbeat/stage metrics only; values
+// never reach records, manifests, or tables (rulebook R3, ARCHITECTURE.md
+// "How tracing preserves determinism").
+#include "obs/stopwatch.hpp"
+
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace volsched::obs {
+
+std::int64_t now_us() noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::int64_t now_ms() noexcept { return now_us() / 1000; }
+
+ScopedTimer::~ScopedTimer() {
+    if (sink_) sink_->observe(now_us() - start_us_);
+}
+
+} // namespace volsched::obs

@@ -1,0 +1,60 @@
+#pragma once
+/// \file stopwatch.hpp
+/// The repository's ONE sanctioned monotonic-clock seam.  The determinism
+/// rulebook (R3) bans wall-clock reads everywhere results are produced;
+/// operational code (progress lines, heartbeats, stage timings) still needs
+/// elapsed time.  Funneling every such read through this header keeps the
+/// carve-out auditable: obs/stopwatch.cpp carries the only
+/// allow-file(wall-clock) annotation in src/, and volsched_lint's self-test
+/// pins that the annotation is load-bearing.
+///
+/// Deliberately chrono-free in the header so includers never gain
+/// accidental access to <chrono> clocks.  Values are microseconds (or
+/// milliseconds) from an arbitrary process-local epoch: good for intervals,
+/// meaningless across processes — which is the point; nothing here can leak
+/// into a record, manifest, or table without failing review.
+
+#include <cstdint>
+
+namespace volsched::obs {
+
+class Histogram; // registry.hpp
+
+/// Monotonic now, microseconds / milliseconds from a process-local epoch.
+[[nodiscard]] std::int64_t now_us() noexcept;
+[[nodiscard]] std::int64_t now_ms() noexcept;
+
+/// Interval timer over the monotonic clock.
+class Stopwatch {
+public:
+    Stopwatch() noexcept : start_us_(now_us()) {}
+
+    [[nodiscard]] std::int64_t elapsed_us() const noexcept {
+        return now_us() - start_us_;
+    }
+    [[nodiscard]] std::int64_t elapsed_ms() const noexcept {
+        return elapsed_us() / 1000;
+    }
+    void restart() noexcept { start_us_ = now_us(); }
+
+private:
+    std::int64_t start_us_;
+};
+
+/// RAII stage timer: observes the scope's elapsed microseconds into a
+/// Histogram on destruction.  Null-safe — `ScopedTimer t(nullptr);` is a
+/// no-op, so call sites stay branch-free under a disabled registry.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram* sink) noexcept
+        : sink_(sink), start_us_(sink ? now_us() : 0) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer();
+
+private:
+    Histogram* sink_;
+    std::int64_t start_us_;
+};
+
+} // namespace volsched::obs

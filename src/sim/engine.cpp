@@ -7,6 +7,7 @@
 
 #include "ckpt/policy.hpp"
 #include "markov/expectation.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace volsched::sim {
@@ -203,6 +204,7 @@ public:
         metrics_.per_proc.assign(static_cast<std::size_t>(pf_.size()), {});
         if (config_.timeline) config_.timeline->begin(pf_.size());
         if (config_.actions) config_.actions->begin(pf_.size());
+        if (config_.tracer) config_.tracer->begin_run(pf_.size());
         slot_flags_.assign(static_cast<std::size_t>(pf_.size()), 0);
         long long t = 0;
         while (t < config_.max_slots) {
@@ -266,6 +268,7 @@ public:
                 metrics_.completed = true;
                 metrics_.makespan = t + 1;
                 metrics_.iterations_completed = config_.iterations;
+                if (config_.tracer) config_.tracer->end_run(t + 1);
                 return metrics_;
             }
             ++t;
@@ -273,6 +276,7 @@ public:
         metrics_.completed = false;
         metrics_.makespan = config_.max_slots;
         metrics_.iterations_completed = iterations_done_;
+        if (config_.tracer) config_.tracer->end_run(config_.max_slots);
         return metrics_;
     }
 
@@ -359,6 +363,7 @@ private:
         }
         if (config_.actions)
             for (long long s = from; s < to; ++s) config_.actions->next_slot();
+        if (config_.tracer) config_.tracer->elided(from, to, true);
         metrics_.dead_slots_skipped += to - from;
     }
 
@@ -674,6 +679,7 @@ private:
         }
         metrics_.slots_elided += n;
         if (up_count_ == 0) metrics_.dead_slots_skipped += n;
+        if (config_.tracer) config_.tracer->elided(from, to, up_count_ == 0);
         if (config_.timeline) {
             for (int q = 0; q < pf_.size(); ++q) {
                 char code = '.';
@@ -1095,6 +1101,8 @@ private:
         replica_plan_.clear();
 
         if (must_plan) {
+            if (config_.tracer)
+                config_.tracer->instant_engine(t, "sched round");
             sched.begin_round(view);
 
             eligible_.clear();
@@ -1497,7 +1505,7 @@ private:
     void emit(EventKind kind, ProcId proc, int logical = -1,
               bool replica = false,
               ProcState state = ProcState::Up) {
-        if (!config_.events) return;
+        if (!config_.events && !config_.tracer) return;
         Event e;
         e.slot = slot_;
         e.kind = kind;
@@ -1506,7 +1514,104 @@ private:
         e.logical = logical;
         e.replica = replica;
         e.state = state;
-        config_.events->append(e);
+        if (config_.tracer) trace_event(e);
+        if (config_.events) config_.events->append(e);
+    }
+
+    /// Mirrors one engine event into the tracer's span model.  Pure
+    /// observer: reads the same Event the log receives (plus the platform's
+    /// transfer-cost constants, to classify zero-cost transfers) and never
+    /// writes engine state.
+    void trace_event(const Event& e) {
+        using obs::TraceRecorder;
+        TraceRecorder& tr = *config_.tracer;
+        const auto task_args = [&e] {
+            std::string a = "{\"task\":" + std::to_string(e.logical) +
+                            ",\"iter\":" + std::to_string(e.iteration);
+            if (e.replica) a += ",\"replica\":true";
+            a += "}";
+            return a;
+        };
+        switch (e.kind) {
+        case EventKind::StateChange: {
+            const char code = e.state == ProcState::Up        ? 'u'
+                              : e.state == ProcState::Reclaimed ? 'r'
+                                                                : 'd';
+            // A DOWN handoff also cuts the activity lanes ("lost") inside
+            // state_change — this covers the in-flight program download a
+            // crash wipes without emitting any WorkLost event.
+            tr.state_change(e.slot, e.proc, code);
+            break;
+        }
+        case EventKind::ProgStart:
+            tr.span_begin(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                          "prog");
+            break;
+        case EventKind::ProgComplete:
+            tr.span_end(e.slot, e.proc, TraceRecorder::kLaneTransfer);
+            break;
+        case EventKind::DataStart:
+            // Zero-cost data transfers (t_data == 0) complete at their
+            // start event and never emit DataComplete — record an instant
+            // so the transfer lane is not left open.
+            if (pf_.t_data == 0)
+                tr.instant(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                           "data (free)");
+            else
+                tr.span_begin(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                              "data", task_args());
+            break;
+        case EventKind::DataComplete:
+            tr.span_end(e.slot, e.proc, TraceRecorder::kLaneTransfer);
+            break;
+        case EventKind::ComputeStart:
+            // Promotion happens at end of slot s; the computation's first
+            // advancing slot is s + 1 (and completions of slot s have
+            // already closed the lane, so the handoff order is safe).
+            tr.span_begin(e.slot + 1, e.proc, TraceRecorder::kLaneCompute,
+                          "compute", task_args());
+            break;
+        case EventKind::TaskComplete:
+            tr.span_end(e.slot, e.proc, TraceRecorder::kLaneCompute);
+            break;
+        case EventKind::WorkLost:
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneTransfer, "lost");
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneCompute, "lost");
+            break;
+        case EventKind::ReplicaCommitted:
+            tr.instant(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                       "replica committed");
+            break;
+        case EventKind::ReplicaCancelled:
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                        "cancelled");
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneCompute,
+                        "cancelled");
+            break;
+        case EventKind::ProactiveCancel:
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneTransfer,
+                        "proactive");
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneCompute,
+                        "proactive");
+            break;
+        case EventKind::IterationComplete:
+            tr.instant_engine(e.slot, "iteration complete");
+            break;
+        case EventKind::CheckpointStart:
+            tr.span_begin(e.slot, e.proc, TraceRecorder::kLaneCkpt, "ckpt",
+                          task_args());
+            break;
+        case EventKind::CheckpointCommit:
+            tr.span_end(e.slot, e.proc, TraceRecorder::kLaneCkpt);
+            break;
+        case EventKind::CheckpointLost:
+            tr.span_cut(e.slot, e.proc, TraceRecorder::kLaneCkpt, "lost");
+            break;
+        case EventKind::Recovery:
+            tr.instant(e.slot, e.proc, TraceRecorder::kLaneCompute,
+                       "recovery");
+            break;
+        }
     }
 
     /// Delay(q) of Section 6.3.1: remaining program + committed data +
@@ -1711,10 +1816,30 @@ std::shared_ptr<markov::RealizedTraces> Simulation::acquire_traces() const {
     return traces_;
 }
 
+namespace {
+
+/// Scheduler cache traffic attributable to one run: the counters are
+/// cumulative over the scheduler's lifetime, the metrics report deltas.
+void record_cache_delta(RunMetrics& m, const Scheduler& sched,
+                        const SchedulerCounters& before) {
+    const SchedulerCounters after = sched.counters();
+    m.cache_hits =
+        static_cast<long long>(after.cache_hits - before.cache_hits);
+    m.cache_misses =
+        static_cast<long long>(after.cache_misses - before.cache_misses);
+    m.cache_invalidations = static_cast<long long>(
+        after.cache_invalidations - before.cache_invalidations);
+}
+
+} // namespace
+
 RunMetrics Simulation::run(Scheduler& sched) const {
     const auto traces = acquire_traces();
     Runner runner(platform_, *traces, beliefs_, config_, seed_);
-    return runner.run(sched);
+    const SchedulerCounters before = sched.counters();
+    RunMetrics m = runner.run(sched);
+    record_cache_delta(m, sched, before);
+    return m;
 }
 
 RunMetrics Simulation::run_for_deadline(Scheduler& sched,
@@ -1726,7 +1851,10 @@ RunMetrics Simulation::run_for_deadline(Scheduler& sched,
     cfg.iterations = std::numeric_limits<int>::max();
     const auto traces = acquire_traces();
     Runner runner(platform_, *traces, beliefs_, cfg, seed_);
-    return runner.run(sched);
+    const SchedulerCounters before = sched.counters();
+    RunMetrics m = runner.run(sched);
+    record_cache_delta(m, sched, before);
+    return m;
 }
 
 long long Simulation::min_slots_for_iterations(Scheduler& sched,

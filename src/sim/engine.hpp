@@ -63,6 +63,10 @@ namespace volsched::ckpt {
 class CheckpointPolicy; // defined in ckpt/policy.hpp
 }
 
+namespace volsched::obs {
+class TraceRecorder; // defined in obs/trace.hpp
+}
+
 namespace volsched::sim {
 
 /// The scheduler-class taxonomy of Section 6.1.
@@ -136,6 +140,11 @@ struct EngineConfig {
     /// Optional exact action recorder (not owned; may be null); lets a run
     /// be re-validated through the off-line model checker.
     ActionTrace* actions = nullptr;
+    /// Optional sim-time tracer (not owned; may be null): records the run as
+    /// per-worker spans exportable as Perfetto-loadable Chrome trace JSON
+    /// (obs/trace.hpp).  Strictly observer-only — attaching a tracer leaves
+    /// every other output byte-identical.
+    obs::TraceRecorder* tracer = nullptr;
 };
 
 /// One reproducible simulation: a platform, one availability process per

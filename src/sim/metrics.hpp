@@ -68,6 +68,15 @@ struct RunMetrics {
     /// Proactive only; always zero for the paper's dynamic class).
     long long proactive_cancellations = 0;
 
+    /// Expectation-cache traffic this run caused in the scheduler (the
+    /// delta of Scheduler::counters() across the run; zeros for heuristics
+    /// without a cache).  Observational only: the cached and uncached
+    /// scoring paths are bit-identical, so these never affect results —
+    /// they measure how much scoring work memoization absorbed.
+    long long cache_hits = 0;
+    long long cache_misses = 0;
+    long long cache_invalidations = 0;
+
     /// Slot (1-based count) at which each completed iteration finished;
     /// size == iterations_completed.  Iteration k's duration is
     /// iteration_ends[k] - iteration_ends[k-1] (with iteration_ends[-1]=0);

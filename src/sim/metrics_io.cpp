@@ -35,6 +35,9 @@ std::string metrics_to_json(const RunMetrics& m) {
     field(out, "dead_slots_skipped", m.dead_slots_skipped);
     field(out, "slots_elided", m.slots_elided);
     field(out, "proactive_cancellations", m.proactive_cancellations);
+    field(out, "cache_hits", m.cache_hits);
+    field(out, "cache_misses", m.cache_misses);
+    field(out, "cache_invalidations", m.cache_invalidations);
     out += ",\"iteration_ends\":[";
     for (std::size_t i = 0; i < m.iteration_ends.size(); ++i) {
         if (i) out += ',';

@@ -7,6 +7,7 @@
 /// UP processor the instance should go to — mirroring the one-by-one greedy
 /// assignment of Section 6.
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 
@@ -49,6 +50,17 @@ struct SchedView {
     int remaining_tasks = 0;
 };
 
+/// Cumulative memoization counters a scheduler may expose (heuristics
+/// backed by a markov::ExpectationCache).  Purely observational: the
+/// cached and uncached paths compute bit-identical scores, so these
+/// numbers describe efficiency, never results.  Cumulative over the
+/// scheduler's lifetime; the engine reports per-run deltas in RunMetrics.
+struct SchedulerCounters {
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_invalidations = 0;
+};
+
 /// On-line scheduling heuristic.  Implementations must be deterministic
 /// given the provided RNG (all randomness must come from `rng`).
 class Scheduler {
@@ -68,6 +80,11 @@ public:
 
     /// Stable identifier used in reports ("emct*", "random2w", ...).
     [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// Cumulative memoization counters (zeros for heuristics with no
+    /// cache).  Wrappers must forward to the scheduler that actually
+    /// scores.
+    [[nodiscard]] virtual SchedulerCounters counters() const { return {}; }
 };
 
 } // namespace volsched::sim

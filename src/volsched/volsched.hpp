@@ -14,6 +14,8 @@
 ///    trace replay and empirical fitting     (markov/, trace/)
 ///  - experiment scenarios, sweeps, reports  (exp/)
 ///  - the off-line clairvoyant toolkit       (offline/)
+///  - observability: metric registry, sim-time tracer, campaign
+///    heartbeat                              (obs/, exp/status.hpp)
 ///  - CLI / RNG / table utilities            (util/)
 ///
 /// Typical use (see examples/quickstart.cpp and API.md):
@@ -66,7 +68,12 @@
 #include "exp/scenario.hpp"
 #include "exp/shape.hpp"
 #include "exp/sink.hpp"
+#include "exp/status.hpp"
 #include "exp/sweep.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 #include "offline/bounds.hpp"
 #include "offline/exact.hpp"

@@ -17,12 +17,13 @@
 /// first JSONL line carries the full grid configuration and a fingerprint,
 /// so merge, status, and query need no flags beyond --out.  See API.md
 /// ("Campaigns") for the sharding, resume, and index contracts.
-// volsched-lint: allow-file(wall-clock): progress/ETA display only — never
-// feeds records or tables
+///
+/// All wall-clock access (progress rate/ETA) goes through obs/stopwatch —
+/// the rulebook's one sanctioned monotonic-clock seam; nothing here feeds
+/// records or tables.
 
 #include <atomic>
 #include <charconv>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -81,20 +82,17 @@ bool parse_range(const std::string& text, long long& lo, long long& hi) {
            lo <= hi;
 }
 
-/// Rate-limited progress line with throughput and ETA.  report() is invoked
-/// concurrently from worker threads (see SweepConfig::progress); an atomic
-/// last-print stamp admits one printer per interval without a lock, and the
-/// instance count at the first report anchors the rate so resumed work is
-/// not counted as instantaneous progress.
+/// Rate-limited progress line with throughput, ETA, and — when the process
+/// registry carries the campaign pipeline gauges — emitter lag and
+/// run-ahead window occupancy.  report() is invoked concurrently from
+/// worker threads (see SweepConfig::progress); an atomic last-print stamp
+/// admits one printer per interval without a lock, and the instance count
+/// at the first report anchors the rate so resumed work is not counted as
+/// instantaneous progress.
 class ProgressPrinter {
 public:
-    ProgressPrinter() : start_(std::chrono::steady_clock::now()) {}
-
     void report(long long done, long long total) {
-        const long long ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start_)
-                .count();
+        const long long ms = watch_.elapsed_ms();
         long long base = base_done_.load(std::memory_order_relaxed);
         if (base < 0) {
             base_done_.compare_exchange_strong(base, done - 1);
@@ -106,22 +104,38 @@ public:
             if (ms - last < kIntervalMs) return;
             if (!last_print_ms_.compare_exchange_strong(last, ms)) return;
         }
+        // Pipeline occupancy from the process registry: how far the
+        // workers run ahead of the emitter (lag, of window capacity) and
+        // how many finished jobs await emission (queue).
+        char pipe[64] = "";
+        if (obs::Registry* reg = obs::Registry::active()) {
+            const long long lag = reg->gauge("campaign.emitter_lag").value();
+            const long long window = reg->gauge("campaign.window").value();
+            const long long queue =
+                reg->gauge("campaign.queue_depth").value();
+            if (window > 0)
+                std::snprintf(pipe, sizeof pipe,
+                              "lag %lld/%lld  queue %lld  ", lag, window,
+                              queue);
+        }
         const double secs = static_cast<double>(ms) / 1000.0;
         const double rate =
             secs > 0.0 ? static_cast<double>(done - base) / secs : 0.0;
         if (rate > 0.0 && total > done)
-            std::fprintf(stderr, "\r%lld/%lld instances  %.1f/s  ETA %llds  ",
-                         done, total, rate,
+            std::fprintf(stderr,
+                         "\r%lld/%lld instances  %.1f/s  %sETA %llds  ",
+                         done, total, rate, pipe,
                          static_cast<long long>(
                              static_cast<double>(total - done) / rate));
         else
-            std::fprintf(stderr, "\r%lld/%lld instances  ", done, total);
+            std::fprintf(stderr, "\r%lld/%lld instances  %s", done, total,
+                         pipe);
         if (final) std::fputc('\n', stderr);
     }
 
 private:
     static constexpr long long kIntervalMs = 500;
-    std::chrono::steady_clock::time_point start_;
+    obs::Stopwatch watch_;
     std::atomic<long long> last_print_ms_{-kIntervalMs};
     std::atomic<long long> base_done_{-1};
 };
@@ -284,6 +298,13 @@ int cmd_run(int argc, char** argv) {
         return 2;
     }
 
+    // Process-wide metrics registry: feeds the progress line's pipeline
+    // occupancy and the per-shard status.json heartbeats.  Observer-only —
+    // installing it cannot change any record or table (pinned by the
+    // trace/no-trace identity tests).
+    static obs::Registry registry;
+    obs::Registry::install(&registry);
+
     try {
         auto campaign = experiment.campaign()
                             .directory(cli.get_string("out"))
@@ -298,7 +319,8 @@ int cmd_run(int argc, char** argv) {
                                 static_cast<int>(cli.get_int("batches")))
                             .pipeline(!cli.get_flag("barrier-loop"))
                             .pipeline_window(static_cast<int>(
-                                cli.get_int("pipeline-window")));
+                                cli.get_int("pipeline-window")))
+                            .heartbeat();
         if (cli.get_flag("fresh")) campaign.fresh();
         if (!cli.get_flag("quiet")) {
             auto printer = std::make_shared<ProgressPrinter>();
@@ -511,17 +533,35 @@ int cmd_status(int argc, char** argv) {
         return 1;
     }
 
-    util::TextTable table(
-        {"shard", "jobs", "instances", "jsonl bytes", "state"});
+    // Two sources per shard: the durable MANIFEST (checkpointed truth) and
+    // the live status.json heartbeat (exp/status.hpp), which also carries
+    // pipeline occupancy and stage wall-times.  A missing heartbeat is
+    // normal (old runs, heartbeat off) and renders as "-".
+    util::TextTable table({"shard", "jobs", "instances", "jsonl bytes",
+                           "state", "heartbeat", "lag/win", "queue",
+                           "avg run us"});
     for (std::size_t c = 1; c < 4; ++c) table.align_right(c);
+    for (std::size_t c = 6; c < 9; ++c) table.align_right(c);
     long long done_total = 0, jobs_total = 0;
     bool all_complete = true;
     int shard_count = 0;
     for (const auto& dir : dirs) {
+        std::string hb_state = "-", hb_pipe = "-", hb_queue = "-",
+                    hb_run = "-";
+        if (const auto status = exp::read_status(dir)) {
+            hb_state = status->state;
+            hb_pipe = std::to_string(status->emitter_lag) + "/" +
+                      std::to_string(status->window);
+            hb_queue = std::to_string(status->queue_depth);
+            if (status->run.count > 0)
+                hb_run =
+                    std::to_string(status->run.total_us / status->run.count);
+        }
         const auto manifest = exp::read_manifest(dir);
         if (!manifest) {
             table.add_row({dir.filename().string(), "-", "-", "-",
-                           "no manifest"});
+                           "no manifest", hb_state, hb_pipe, hb_queue,
+                           hb_run});
             all_complete = false;
             continue;
         }
@@ -534,13 +574,14 @@ int cmd_status(int argc, char** argv) {
                            std::to_string(manifest->jobs_total),
                        std::to_string(manifest->instances_done),
                        std::to_string(manifest->jsonl_bytes),
-                       manifest->complete ? "complete" : "running"});
+                       manifest->complete ? "complete" : "running", hb_state,
+                       hb_pipe, hb_queue, hb_run});
     }
     if (static_cast<int>(dirs.size()) < shard_count) {
         table.add_row({std::to_string(shard_count -
                                       static_cast<int>(dirs.size())) +
                            " shard(s)",
-                       "-", "-", "-", "not started"});
+                       "-", "-", "-", "not started", "-", "-", "-", "-"});
         all_complete = false;
     }
     std::printf("%s", table.render("campaign " + cli.get_string("out"))

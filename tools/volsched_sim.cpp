@@ -77,6 +77,10 @@ void print_metrics(const sim::RunMetrics& m, int tasks_per_iteration,
         std::printf("slots elided     %lld advanced in closed form "
                     "(event-driven core)\n",
                     m.slots_elided);
+    if (m.cache_hits + m.cache_misses > 0)
+        std::printf("score cache      %lld hits, %lld misses, %lld "
+                    "invalidations\n",
+                    m.cache_hits, m.cache_misses, m.cache_invalidations);
 }
 
 } // namespace
@@ -116,6 +120,9 @@ int main(int argc, char** argv) {
     cli.add_flag("timeline", "print the ASCII activity chart");
     cli.add_int("timeline-window", 120, "chart slots to display");
     cli.add_string("events", "", "write the event log to this CSV path");
+    cli.add_string("trace-out", "",
+                   "write a Perfetto-loadable Chrome trace JSON of the run "
+                   "to this path (1 slot = 1 us; single-heuristic runs)");
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
     if (cli.get_flag("list-heuristics")) return list_heuristics();
@@ -219,14 +226,17 @@ int main(int argc, char** argv) {
 
     sim::EventLog events;
     sim::Timeline timeline;
+    obs::TraceRecorder tracer;
     const bool single = specs.size() == 1;
     const bool want_events = !cli.get_string("events").empty();
     const bool want_timeline = cli.get_flag("timeline");
+    const bool want_trace = !cli.get_string("trace-out").empty();
     if (single && want_events) builder.events(&events);
     if (single && want_timeline) builder.timeline(&timeline);
-    if (!single && (want_events || want_timeline))
-        std::fprintf(stderr, "note: --events/--timeline only apply to "
-                             "single-heuristic runs; ignoring\n");
+    if (single && want_trace) builder.trace(&tracer);
+    if (!single && (want_events || want_timeline || want_trace))
+        std::fprintf(stderr, "note: --events/--timeline/--trace-out only "
+                             "apply to single-heuristic runs; ignoring\n");
 
     const auto simulation = builder.build();
 
@@ -270,6 +280,23 @@ int main(int argc, char** argv) {
             events.write_csv(out);
             std::printf("\nwrote %zu events to %s\n", events.size(),
                         cli.get_string("events").c_str());
+        }
+        if (want_trace) {
+            tracer.meta("tool", "volsched_sim");
+            tracer.meta("heuristic", std::string(sched->name()));
+            tracer.meta("model", model);
+            tracer.meta("seed", std::to_string(seed));
+            const std::string& trace_path = cli.get_string("trace-out");
+            std::ofstream out(trace_path);
+            tracer.write_json(out);
+            out.flush();
+            if (!out) {
+                std::fprintf(stderr, "error: could not write %s\n",
+                             trace_path.c_str());
+                return 1;
+            }
+            std::printf("wrote %zu trace events to %s\n", tracer.size(),
+                        trace_path.c_str());
         }
         if (!metrics_json.empty() && !emit_json(sim::metrics_to_json(m)))
             return 1;
